@@ -1,0 +1,93 @@
+// Command milker runs a honeypot milking campaign, either self-contained
+// (in-process platform and collusion networks at a configurable scale —
+// reproduces Table 4) or against running platformd/collusiond daemons
+// over HTTP.
+//
+//	milker -demo -scale 100 -posts-divisor 20
+//	milker -platform http://127.0.0.1:8400 -site http://127.0.0.1:8500 \
+//	    -app <app-id> -redirect <uri> -posts 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/honeypot"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "self-contained Table 4 campaign")
+	scale := flag.Int("scale", 100, "demo population scale divisor")
+	postsDivisor := flag.Int("posts-divisor", 20, "demo post-count divisor")
+	seed := flag.Int64("seed", 1, "random seed")
+
+	platformURL := flag.String("platform", "", "platform base URL (HTTP mode)")
+	siteURL := flag.String("site", "", "collusion network base URL (HTTP mode)")
+	appID := flag.String("app", "", "exploited application ID (HTTP mode)")
+	redirect := flag.String("redirect", "", "exploited application redirect URI (HTTP mode)")
+	account := flag.String("account", "", "honeypot's platform account ID (HTTP mode)")
+	posts := flag.Int("posts", 20, "posts to milk (HTTP mode)")
+	flag.Parse()
+
+	if *demo {
+		res, err := experiments.Table4(experiments.Table4Config{
+			Scale:        *scale,
+			PostsDivisor: *postsDivisor,
+			Seed:         *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Table.String())
+		return
+	}
+
+	if *platformURL == "" || *siteURL == "" || *appID == "" || *redirect == "" || *account == "" {
+		log.Fatal("milker: need -demo, or -platform/-site/-app/-redirect/-account")
+	}
+
+	// HTTP mode: the honeypot acts as a pre-registered platform account
+	// (platformd prints a few on startup), posts through the Graph API,
+	// and drives the collusion site over HTTP.
+	client := platform.NewHTTPClient(*platformURL)
+	site := honeypot.NewHTTPSite(*siteURL, *siteURL)
+	hp := honeypot.New(honeypot.Config{
+		Clock:     simclock.NewReal(),
+		Client:    client,
+		Site:      site,
+		App:       apps.App{ID: *appID, RedirectURI: *redirect},
+		Name:      "milker-honeypot",
+		AccountID: *account,
+	})
+	if err := hp.Join(); err != nil {
+		log.Fatalf("milker: join failed (is the honeypot account registered on the platform?): %v", err)
+	}
+	est := honeypot.NewEstimator()
+	for i := 0; i < *posts; i++ {
+		postID, delivered, err := hp.MilkOnce()
+		if err != nil {
+			log.Printf("milker: post %d: %v", i+1, err)
+			time.Sleep(time.Second)
+			continue
+		}
+		likes, err := client.LikesOf(hp.Token(), postID)
+		if err != nil {
+			log.Printf("milker: crawling %s: %v", postID, err)
+			continue
+		}
+		likers := make([]string, len(likes))
+		for j, l := range likes {
+			likers[j] = l.AccountID
+		}
+		est.ObservePost(likers)
+		fmt.Printf("post %2d: delivered=%d cumulative-unique=%d\n", i+1, delivered, est.MembershipEstimate())
+	}
+	fmt.Printf("\nposts=%d likes=%d avg=%.1f membership>=%d\n",
+		est.PostsSubmitted(), est.TotalLikes(), est.AvgLikesPerPost(), est.MembershipEstimate())
+}

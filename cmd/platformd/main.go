@@ -1,0 +1,97 @@
+// Command platformd serves the simulated social platform over HTTP: the
+// OAuth dialog, the token endpoint, and the Graph API.
+//
+// On startup it seeds a demo world — one susceptible application (HTC
+// Sense-style), one secure application, and a handful of member accounts —
+// and prints the identifiers clients need. Collusion network daemons
+// (cmd/collusiond), the scanner (cmd/scanner), and the milker
+// (cmd/milker) all speak to this server.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8400", "listen address")
+	members := flag.Int("members", 50, "demo member accounts to create")
+	flag.Parse()
+
+	internet := netsim.NewInternet()
+	must(internet.RegisterAS(netsim.AS{Number: 64500, Name: "BP-HOSTING-A", Country: "RU", Bulletproof: true}, "203.0.0.0/16"))
+	must(internet.RegisterAS(netsim.AS{Number: 65000, Name: "GENERIC-HOSTING", Country: "US"}, "192.168.0.0/16"))
+
+	p := platform.New(simclock.NewReal(), internet)
+
+	susceptible := p.Apps.Register(apps.Config{
+		Name:              "HTC Sense",
+		RedirectURI:       "https://htc-sense.example/callback",
+		ClientFlowEnabled: true,
+		RequireAppSecret:  false,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermEmail, apps.PermPublishActions},
+		MAU:               1_000_000,
+		DAU:               1_000_000,
+	})
+	secure := p.Apps.Register(apps.Config{
+		Name:              "Secure Player",
+		RedirectURI:       "https://secure-player.example/callback",
+		ClientFlowEnabled: false,
+		RequireAppSecret:  true,
+		Lifetime:          apps.ShortTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+		MAU:               5_000_000,
+		DAU:               500_000,
+	})
+
+	fmt.Printf("platformd listening on http://%s\n", *addr)
+	fmt.Printf("susceptible app: id=%s redirect=%s\n", susceptible.ID, susceptible.RedirectURI)
+	fmt.Printf("secure app:      id=%s redirect=%s (secret=%s)\n", secure.ID, secure.RedirectURI, secure.Secret)
+	for i := 0; i < *members; i++ {
+		acct := p.Graph.CreateAccount(fmt.Sprintf("member-%d", i+1), "IN", time.Now())
+		if i < 3 {
+			fmt.Printf("member account: %s\n", acct.ID)
+		}
+	}
+	fmt.Printf("(and %d more member accounts)\n", *members-3)
+	fmt.Println("dialog: GET /dialog/oauth?client_id=&redirect_uri=&response_type=token&scope=publish_actions&account_id=")
+
+	serve(*addr, p.Handler())
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight
+// requests before exiting.
+func serve(addr string, handler http.Handler) {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	fmt.Println("platformd: shut down cleanly")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Command scanner probes third-party applications for access-token
+// leakage, implementing the tool of Section 2.2: it walks each app's
+// login URL on a test account, retrieves the client-side token, and
+// verifies the token can read and write without the application secret.
+//
+// Two modes:
+//
+//	scanner -demo
+//	    spin up an in-process platform with a synthetic top-100 app
+//	    leaderboard and scan all of it (reproduces Table 1);
+//
+//	scanner -platform http://127.0.0.1:8400 -account <id> -post <id> <login-url>...
+//	    scan specific login URLs against a running platformd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/scanner"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "self-contained demo: build and scan a synthetic top-100")
+	platformURL := flag.String("platform", "", "platform base URL")
+	account := flag.String("account", "", "test account ID")
+	post := flag.String("post", "", "test post ID")
+	seed := flag.Int64("seed", 1, "seed for the demo leaderboard")
+	flag.Parse()
+
+	if *demo {
+		res, err := experiments.Table1(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Table.String())
+		return
+	}
+
+	if *platformURL == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "scanner: need -demo, or -platform with login URLs")
+		os.Exit(2)
+	}
+	if *account == "" {
+		fmt.Fprintln(os.Stderr, "scanner: -account (test account ID) required")
+		os.Exit(2)
+	}
+	sc := scanner.New(*platformURL, *account, *post)
+	for _, loginURL := range flag.Args() {
+		res := sc.ScanLoginURL(loginURL)
+		verdict := "SECURE"
+		if res.Susceptible {
+			verdict = "SUSCEPTIBLE"
+			if res.LongTerm {
+				verdict += " (long-term tokens)"
+			} else {
+				verdict += " (short-term tokens)"
+			}
+		}
+		fmt.Printf("%-40s app=%s %s", loginURL, res.AppID, verdict)
+		if res.Reason != "" {
+			fmt.Printf(" — %s", res.Reason)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,21 @@
+// Package repro is a full executable reproduction of "Measuring and
+// Mitigating OAuth Access Token Abuse by Collusion Networks" (Farooqi,
+// Zaffar, Leontiadis, Shafiq — IMC 2017).
+//
+// The original study ran against the live Facebook platform; this module
+// rebuilds the whole ecosystem in Go — the OAuth 2.0 social platform and
+// Graph API, the third-party application directory, the collusion network
+// services, the honeypot measurement apparatus, and the countermeasure
+// stack — and re-runs every table and figure of the paper's evaluation
+// against it. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-versus-measured results.
+//
+// Entry points:
+//
+//   - internal/core: the Study type — build the world, milk collusion
+//     networks with honeypots, deploy countermeasures;
+//   - internal/experiments: one driver per table/figure;
+//   - cmd/repro: regenerate any experiment from the command line;
+//   - examples/: runnable walkthroughs of the leak, the milking
+//     methodology, the countermeasure campaign, and the app scanner.
+package repro

@@ -1,0 +1,94 @@
+// Detection: the paper's Section 8 proposal made concrete — train a
+// machine-learning detector for access token abuse and compare it with
+// the temporal clustering that collusion networks evade.
+//
+// The example simulates four days of mixed traffic (two collusion
+// networks spending pooled tokens; organic users liking friends' posts
+// first-party), extracts per-account behavioural features, trains a
+// logistic regression, and evaluates on held-out accounts. It then purges
+// the fake likes of every flagged account — the remediation loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/detection"
+	"repro/internal/workload"
+)
+
+func main() {
+	s, err := workload.BuildScenario(workload.Options{
+		Scale:      3, // keep pools ≫ quota: SynchroTrap's blind regime
+		MinMembers: 100,
+		Networks:   []string{"kingliker.com", "rockliker.net"},
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	organic, err := s.AddOrganicUsers(400, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.BuildFriendGraph(6, 11)
+
+	trap := defense.NewSynchroTrap(time.Minute, 0.5, 3, 20)
+	s.Platform.Chain().Append(defense.NewSynchroTap(trap))
+
+	fmt.Println("simulating 4 days of mixed collusion + organic traffic...")
+	for day := 0; day < 4; day++ {
+		organic.SimulateDay(0.5, 4)
+		for hour := 0; hour < 24; hour++ {
+			for _, ni := range s.Networks {
+				if hour%3 == 0 {
+					ni.BackgroundRequests(2)
+				}
+			}
+			s.Clock.Advance(time.Hour)
+		}
+	}
+
+	var labeled []detection.Labeled
+	for _, ni := range s.Networks {
+		for _, m := range ni.Members {
+			labeled = append(labeled, detection.Labeled{AccountID: m.ID, Colluding: true})
+		}
+	}
+	for _, u := range organic.Users {
+		labeled = append(labeled, detection.Labeled{AccountID: u.ID, Colluding: false})
+	}
+	ds := detection.BuildDataset(s.Platform.Graph, labeled)
+	train, test := ds.Split(0.3)
+	model, err := detection.Train(train, detection.TrainConfig{Epochs: 300, LearningRate: 0.3, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d accounts; feature weights:\n", len(train.X))
+	for i, name := range detection.FeatureNames {
+		fmt.Printf("  %-22s %+.2f\n", name, model.Weights[i])
+	}
+
+	m := detection.Evaluate(model, test, 0.5)
+	fmt.Printf("\nheld-out accounts: %d\n", len(test.X))
+	fmt.Printf("precision=%.3f recall=%.3f F1=%.3f AUC=%.3f (FP=%d)\n",
+		m.Precision, m.Recall, m.F1, m.AUC, m.FP)
+
+	clustered := 0
+	for _, c := range trap.Detect() {
+		clustered += len(c.Accounts)
+	}
+	fmt.Printf("SynchroTrap over the same window flagged %d accounts (the paper's Sec. 6.3 result)\n", clustered)
+
+	var flagged []string
+	for i, x := range test.X {
+		if model.Predict(x, 0.5) {
+			flagged = append(flagged, test.IDs[i])
+		}
+	}
+	report := defense.PurgeLikesReport(s.Platform.Graph, flagged)
+	fmt.Printf("remediation: purged %d fake likes from %d objects across %d flagged accounts\n",
+		report.LikesRemoved, report.ObjectsTouched, report.AccountsProcessed)
+}

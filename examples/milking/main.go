@@ -1,0 +1,49 @@
+// Milking: infiltrate a collusion network with a honeypot and estimate
+// its membership (the Section 4 methodology, Figure 4's curve).
+//
+// The example builds mg-likers.com at 1/500 of its measured population,
+// joins it with a honeypot account, and milks it 40 posts deep. Watch
+// the cumulative-unique-accounts column flatten while likes grow
+// linearly: that gap is the repetition that turns milking into a
+// membership estimator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	study, err := core.NewStudy(workload.Options{
+		Scale:    500,
+		Networks: []string{"mg-likers.com"},
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ni := study.Scenario.Networks[0]
+	fmt.Printf("infiltrated %s: %d members pooled, %d likes per request\n\n",
+		ni.Spec.Name, ni.Net.MembershipSize(), ni.Spec.LikesPerRequest)
+
+	fmt.Println("post  delivered  cum.likes  cum.unique")
+	for i := 0; i < 40; i++ {
+		res := study.MilkNetwork(ni.Spec.Name)
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		curve := study.Estimators[ni.Spec.Name].Curve()
+		last := curve[len(curve)-1]
+		fmt.Printf("%4d  %9d  %9d  %10d\n", last.Step, res.Delivered, last.CumulativeEvents, last.CumulativeUnique)
+		study.AdvanceHour()
+	}
+
+	est := study.Estimators[ni.Spec.Name]
+	fmt.Printf("\nmembership estimate (lower bound): %d of %d actual pooled members (%.0f%% milked)\n",
+		est.MembershipEstimate(), ni.Net.MembershipSize(),
+		100*float64(est.MembershipEstimate())/float64(ni.Net.MembershipSize()))
+	fmt.Printf("the paper estimated 177,665 members for mg-likers.com from 1,537 posts\n")
+}

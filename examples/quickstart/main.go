@@ -1,0 +1,95 @@
+// Quickstart: the OAuth access-token leak end to end, in one file.
+//
+// It builds the simulated platform, registers two third-party apps — one
+// with the weak security settings the paper exploits (client-side flow
+// enabled, no application secret required on API calls) and one locked
+// down — then plays the attacker: leak a token through the implicit
+// flow's URL fragment, replay it from a completely different vantage
+// point to manufacture a like, and watch the platform stop the same
+// replay once the token is invalidated.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+func main() {
+	clock := simclock.NewSimulated(time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC))
+	p := platform.New(clock, nil)
+
+	// A popular app with weak settings (HTC Sense in the paper) and a
+	// hardened one.
+	weak := p.Apps.Register(apps.Config{
+		Name:              "HTC Sense",
+		RedirectURI:       "https://htc-sense.example/callback",
+		ClientFlowEnabled: true,  // implicit flow allowed (Fig. 2a)
+		RequireAppSecret:  false, // no appsecret_proof demanded (Fig. 2b)
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	hardened := p.Apps.Register(apps.Config{
+		Name:              "Hardened App",
+		RedirectURI:       "https://hardened.example/callback",
+		ClientFlowEnabled: false,
+		RequireAppSecret:  true,
+		Lifetime:          apps.ShortTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	fmt.Printf("registered %q (susceptible=%v) and %q (susceptible=%v)\n\n",
+		weak.Name, weak.Susceptible(), hardened.Name, hardened.Susceptible())
+
+	// A member and a post to manipulate.
+	member := p.Graph.CreateAccount("colluding-member", "IN", clock.Now())
+	author := p.Graph.CreateAccount("target-author", "IN", clock.Now())
+	post, err := p.Graph.CreatePost(author.ID, "look at my amazing status", socialgraph.WriteMeta{At: clock.Now()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The platform is a real HTTP service; everything below goes over the
+	// wire exactly as a browser/collusion site would see it.
+	srv := p.ServeHTTPTest()
+	defer srv.Close()
+	client := platform.NewHTTPClient(srv.URL)
+
+	// Step 1 — the member walks the implicit flow; the access token comes
+	// back in the redirect URI fragment, visible at the client side. This
+	// is the string collusion networks tell their members to copy out of
+	// the address bar (Fig. 3).
+	token, err := client.AuthorizeImplicit(weak.ID, weak.RedirectURI, member.ID,
+		[]string{apps.PermPublicProfile, apps.PermPublishActions})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leaked token (from URL fragment): %.24s...\n", token)
+
+	// Step 2 — anyone holding the bearer token can replay it from
+	// anywhere: no app secret, no session, a different source IP.
+	if err := client.Like(token, post.ID, "203.0.113.66"); err != nil {
+		log.Fatal(err)
+	}
+	likes := p.Graph.Likes(post.ID)
+	fmt.Printf("replayed like recorded: account=%s via app=%s from IP=%s\n",
+		likes[0].AccountID, likes[0].AppID, likes[0].SourceIP)
+
+	// The hardened app refuses the implicit flow outright.
+	if _, err := client.AuthorizeImplicit(hardened.ID, hardened.RedirectURI, member.ID,
+		[]string{apps.PermPublishActions}); err != nil {
+		fmt.Printf("hardened app blocks the leak: %v\n", err)
+	}
+
+	// Step 3 — the countermeasure: invalidate the leaked token (Sec. 6.2)
+	// and the replay stops working.
+	p.OAuth.Invalidate(token, "honeypot-milked")
+	post2, _ := p.Graph.CreatePost(author.ID, "another status", socialgraph.WriteMeta{At: clock.Now()})
+	if err := client.Like(token, post2.ID, "203.0.113.66"); err != nil {
+		fmt.Printf("after invalidation the token is dead: %v\n", err)
+	}
+}

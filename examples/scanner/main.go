@@ -1,0 +1,80 @@
+// Scanner: probe third-party applications for access-token leakage over
+// real HTTP — the Section 2.2 tool against a synthetic app directory.
+//
+// The example registers four apps spanning the security-settings matrix,
+// serves the platform on an httptest listener, and scans each login URL
+// exactly as the paper's Selenium tool did: walk the dialog on a test
+// account, grab the fragment token, then try to read and write with it
+// and no application secret.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/scanner"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+func main() {
+	clock := simclock.NewSimulated(time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC))
+	p := platform.New(clock, nil)
+	srv := p.ServeHTTPTest()
+	defer srv.Close()
+
+	specs := []struct {
+		name          string
+		clientFlow    bool
+		requireSecret bool
+		lifetime      apps.TokenLifetime
+	}{
+		{"Streaming Service", true, false, apps.LongTerm}, // the dangerous kind
+		{"Casual Game", true, false, apps.ShortTerm},      // leaky but short-lived
+		{"Server-Side CRM", false, false, apps.LongTerm},  // implicit flow off
+		{"Proofed Player", true, true, apps.LongTerm},     // appsecret_proof on
+	}
+	var entries []scanner.AppDirectoryEntry
+	for _, s := range specs {
+		app := p.Apps.Register(apps.Config{
+			Name:              s.name,
+			RedirectURI:       "https://app.example/cb",
+			ClientFlowEnabled: s.clientFlow,
+			RequireAppSecret:  s.requireSecret,
+			Lifetime:          s.lifetime,
+			Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+		})
+		entries = append(entries, scanner.AppDirectoryEntry{
+			App:      app,
+			LoginURL: scanner.LoginURL(srv.URL, app.ID, app.RedirectURI, app.Permissions),
+		})
+	}
+
+	testAcct := p.Graph.CreateAccount("scanner-test", "US", clock.Now())
+	testPost, err := p.Graph.CreatePost(testAcct.ID, "scanner probe", socialgraph.WriteMeta{At: clock.Now()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := scanner.New(srv.URL, testAcct.ID, testPost.ID)
+
+	fmt.Printf("%-20s %-12s %-11s %s\n", "APP", "VERDICT", "TOKEN LIFE", "DETAIL")
+	results := sc.ScanAll(entries)
+	for _, r := range results {
+		verdict, life, detail := "secure", "-", r.Reason
+		if r.Susceptible {
+			verdict = "SUSCEPTIBLE"
+			life = "short-term"
+			if r.LongTerm {
+				life = "long-term"
+			}
+			detail = fmt.Sprintf("token valid %v, replayable without secret", r.ExpiresIn)
+		}
+		fmt.Printf("%-20s %-12s %-11s %s\n", r.Name, verdict, life, detail)
+	}
+	sum := scanner.Summarize(results)
+	fmt.Printf("\n%d scanned: %d susceptible (%d long-term) — the paper found 55/100 with 9 long-term\n",
+		sum.Scanned, sum.Susceptible, sum.SusceptibleLongTerm)
+}

@@ -1,0 +1,87 @@
+package collusion
+
+import (
+	"testing"
+
+	"repro/internal/socialgraph"
+)
+
+func autoHarness(t *testing.T) (*harness, socialgraph.Account) {
+	t.Helper()
+	h := newHarness(t, Config{
+		LikesPerRequest: 10,
+		PremiumPlans: []Plan{
+			{Name: "gold", PriceUSD: 29.99, LikesPerPost: 25, AutoDelivery: true},
+		},
+	}, 60)
+	subscriber := h.members[0]
+	if err := h.network.BuyPlan(subscriber.ID, "gold"); err != nil {
+		t.Fatal(err)
+	}
+	return h, subscriber
+}
+
+func TestAutoDeliveryLikesFreshPosts(t *testing.T) {
+	h, subscriber := autoHarness(t)
+	if h.network.AutoSubscribers() != 1 {
+		t.Fatalf("subscribers = %d", h.network.AutoSubscribers())
+	}
+	p1 := h.post(t, subscriber)
+	p2 := h.post(t, subscriber)
+	served := h.network.RunAutoDelivery()
+	if served != 2 {
+		t.Fatalf("served = %d, want 2", served)
+	}
+	for _, p := range []socialgraph.Post{p1, p2} {
+		if got := h.p.Graph.LikeCount(p.ID); got != 25 {
+			t.Fatalf("post %s likes = %d, want plan quota 25", p.ID, got)
+		}
+	}
+	// Non-subscribers' posts are untouched.
+	other := h.post(t, h.members[1])
+	h.network.RunAutoDelivery()
+	if got := h.p.Graph.LikeCount(other.ID); got != 0 {
+		t.Fatalf("non-subscriber post got %d auto likes", got)
+	}
+}
+
+func TestAutoDeliveryIdempotentPerPost(t *testing.T) {
+	h, subscriber := autoHarness(t)
+	p := h.post(t, subscriber)
+	if served := h.network.RunAutoDelivery(); served != 1 {
+		t.Fatalf("first run served %d", served)
+	}
+	if served := h.network.RunAutoDelivery(); served != 0 {
+		t.Fatalf("second run served %d, want 0", served)
+	}
+	if got := h.p.Graph.LikeCount(p.ID); got != 25 {
+		t.Fatalf("likes = %d after double run", got)
+	}
+	// A new post gets served on the next cycle.
+	p2 := h.post(t, subscriber)
+	if served := h.network.RunAutoDelivery(); served != 1 {
+		t.Fatalf("third run served %d", served)
+	}
+	if got := h.p.Graph.LikeCount(p2.ID); got != 25 {
+		t.Fatalf("new post likes = %d", got)
+	}
+}
+
+func TestAutoDeliveryStopsOnDeadToken(t *testing.T) {
+	h, subscriber := autoHarness(t)
+	_ = h.post(t, subscriber)
+	// The subscriber's own token dies (e.g. invalidation sweep): the feed
+	// poll fails and nothing is served, without panics or pool churn.
+	h.p.OAuth.InvalidateAccount(subscriber.ID, "sweep")
+	if served := h.network.RunAutoDelivery(); served != 0 {
+		t.Fatalf("served %d with a dead subscriber token", served)
+	}
+}
+
+func TestAutoDeliveryNoSubscribers(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5}, 10)
+	_ = h.post(t, h.members[0])
+	if served := h.network.RunAutoDelivery(); served != 0 {
+		t.Fatalf("served %d without subscribers", served)
+	}
+}

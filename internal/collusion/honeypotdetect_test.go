@@ -1,0 +1,115 @@
+package collusion
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHoneypotDetectorBansFrequentRequesters(t *testing.T) {
+	h := newHarness(t, Config{
+		LikesPerRequest:  5,
+		HoneypotMaxDaily: 3,
+		HoneypotBanDays:  2,
+	}, 30)
+	greedy := h.members[0]
+
+	// Day 0: four requests — the fourth is the first strike but still
+	// only a strike, not a ban.
+	for i := 0; i < 4; i++ {
+		post := h.post(t, greedy)
+		if _, err := h.network.RequestLikes(greedy.ID, post.ID, ""); err != nil {
+			t.Fatalf("day 0 request %d: %v", i, err)
+		}
+	}
+	h.clock.Advance(24 * time.Hour)
+
+	// Day 1: the fourth request crosses the threshold a second day — ban.
+	var banErr error
+	for i := 0; i < 4; i++ {
+		post := h.post(t, greedy)
+		if _, err := h.network.RequestLikes(greedy.ID, post.ID, ""); err != nil {
+			banErr = err
+			break
+		}
+	}
+	if !errors.Is(banErr, ErrBanned) {
+		t.Fatalf("ban err = %v", banErr)
+	}
+	if !h.network.Banned(greedy.ID) {
+		t.Fatal("Banned() = false after ban")
+	}
+	// Banned member is out of the pool and cannot resubmit.
+	if h.network.Pool().Contains(greedy.ID) {
+		t.Fatal("banned member still pooled")
+	}
+	if err := h.network.SubmitToken(greedy.ID, "anything"); !errors.Is(err, ErrBanned) {
+		t.Fatalf("resubmit err = %v", err)
+	}
+	post := h.post(t, greedy)
+	if _, err := h.network.RequestLikes(greedy.ID, post.ID, ""); !errors.Is(err, ErrBanned) {
+		t.Fatalf("post-ban request err = %v", err)
+	}
+}
+
+func TestHoneypotDetectorSparesModestMembers(t *testing.T) {
+	h := newHarness(t, Config{
+		LikesPerRequest:  5,
+		HoneypotMaxDaily: 3,
+		HoneypotBanDays:  2,
+	}, 30)
+	modest := h.members[1]
+	// Three requests a day for five days: never suspicious.
+	for day := 0; day < 5; day++ {
+		for i := 0; i < 3; i++ {
+			post := h.post(t, modest)
+			if _, err := h.network.RequestLikes(modest.ID, post.ID, ""); err != nil {
+				t.Fatalf("day %d request %d: %v", day, i, err)
+			}
+		}
+		h.clock.Advance(24 * time.Hour)
+	}
+	if h.network.Banned(modest.ID) {
+		t.Fatal("modest member banned")
+	}
+}
+
+func TestHoneypotDetectorSingleSpikeIsForgiven(t *testing.T) {
+	h := newHarness(t, Config{
+		LikesPerRequest:  5,
+		HoneypotMaxDaily: 3,
+		HoneypotBanDays:  2,
+	}, 30)
+	spiky := h.members[2]
+	// One suspicious day followed by quiet days: one strike, no ban.
+	for i := 0; i < 6; i++ {
+		post := h.post(t, spiky)
+		if _, err := h.network.RequestLikes(spiky.ID, post.ID, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 3; day++ {
+		h.clock.Advance(24 * time.Hour)
+		post := h.post(t, spiky)
+		if _, err := h.network.RequestLikes(spiky.ID, post.ID, ""); err != nil {
+			t.Fatalf("quiet day %d: %v", day, err)
+		}
+	}
+	if h.network.Banned(spiky.ID) {
+		t.Fatal("single spike banned the member")
+	}
+}
+
+func TestDetectorDisabledByDefault(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5}, 20)
+	m := h.members[0]
+	for i := 0; i < 50; i++ {
+		post := h.post(t, m)
+		if _, err := h.network.RequestLikes(m.ID, post.ID, ""); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if h.network.Banned(m.ID) {
+		t.Fatal("ban without detection armed")
+	}
+}

@@ -1,0 +1,510 @@
+package collusion
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/graphapi"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+)
+
+// Errors returned by the member-facing operations.
+var (
+	ErrOutage          = errors.New("collusion: site is down")
+	ErrBanned          = errors.New("collusion: account banned for suspicious request behaviour")
+	ErrNotMember       = errors.New("collusion: no token on file; submit your access token first")
+	ErrDailyLimit      = errors.New("collusion: daily request limit reached")
+	ErrTooSoon         = errors.New("collusion: wait before submitting another request")
+	ErrCaptchaRequired = errors.New("collusion: CAPTCHA answer required")
+	ErrCaptchaWrong    = errors.New("collusion: CAPTCHA answer wrong")
+	ErrAdWallRequired  = errors.New("collusion: complete the ad redirect chain before requesting")
+	ErrBadToken        = errors.New("collusion: submitted access token did not verify")
+	ErrNoComments      = errors.New("collusion: this network does not provide auto-comments")
+	ErrUnknownPlan     = errors.New("collusion: unknown premium plan")
+	ErrAdblock         = errors.New("collusion: disable your ad-blocker to use this site")
+)
+
+// Stats aggregates the engine's activity for the measurement harness.
+type Stats struct {
+	Visits            int64
+	AdImpressions     int64
+	TokensCollected   int64
+	TokensDropped     int64
+	LikeRequests      int64
+	CommentRequests   int64
+	LikesAttempted    int64
+	LikesDelivered    int64
+	CommentsDelivered int64
+	RevenueUSD        float64
+	FailuresByCode    map[int]int64
+	Adapted           bool
+}
+
+// Network is one collusion network instance: token pool plus delivery
+// engine plus site rules. It is safe for concurrent use.
+type Network struct {
+	cfg    Config
+	clock  simclock.Clock
+	client platform.Client
+	epoch  time.Time
+
+	mu            sync.Mutex
+	rng           *rand.Rand
+	pool          *TokenPool
+	reqDay        map[string]int64 // member -> day index of reqCount
+	reqCount      map[string]int
+	lastReq       map[string]time.Time
+	captcha       map[string]captchaChallenge
+	premium       map[string]Plan
+	rateLimitDays map[int64]bool
+	adapted       bool
+	stats         Stats
+	// Honeypot detector state: per-member per-day request counts and the
+	// set of suspicious days observed; banned members are locked out.
+	hpDay     map[string]int64
+	hpCount   map[string]int
+	hpStrikes map[string]int
+	banned    map[string]bool
+	// autoServed tracks posts already handled by premium auto-delivery.
+	autoServed map[string]bool
+	// adWallPass holds one-request allowances earned by completing the
+	// ad redirect chain.
+	adWallPass map[string]bool
+}
+
+type captchaChallenge struct {
+	a, b int
+}
+
+// NewNetwork builds a collusion network backed by the given platform
+// client. The construction instant becomes day 0 for outage scheduling.
+func NewNetwork(cfg Config, clock simclock.Clock, client platform.Client) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:           cfg,
+		clock:         clock,
+		client:        client,
+		epoch:         clock.Now(),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		pool:          NewTokenPool(),
+		reqDay:        make(map[string]int64),
+		reqCount:      make(map[string]int),
+		lastReq:       make(map[string]time.Time),
+		captcha:       make(map[string]captchaChallenge),
+		premium:       make(map[string]Plan),
+		rateLimitDays: make(map[int64]bool),
+		stats:         Stats{FailuresByCode: make(map[int]int64)},
+		hpDay:         make(map[string]int64),
+		hpCount:       make(map[string]int),
+		hpStrikes:     make(map[string]int),
+		banned:        make(map[string]bool),
+		adWallPass:    make(map[string]bool),
+	}
+}
+
+// CompleteAdWall walks the member through the ad redirect chain: every
+// hop serves AdsPerVisit impressions, and completing the chain earns an
+// allowance for exactly one like/comment request.
+func (n *Network) CompleteAdWall(accountID string) error {
+	if n.down(n.clock.Now()) {
+		return ErrOutage
+	}
+	if n.Banned(accountID) {
+		return ErrBanned
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.AdWallHops <= 0 {
+		return nil // no wall configured: a no-op courtesy
+	}
+	n.stats.AdImpressions += int64(n.cfg.AdWallHops * n.cfg.AdsPerVisit)
+	n.adWallPass[accountID] = true
+	return nil
+}
+
+// Name returns the network's domain name.
+func (n *Network) Name() string { return n.cfg.Name }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Pool exposes the token pool (the measurement harness samples its size).
+func (n *Network) Pool() *TokenPool { return n.pool }
+
+// day returns the simulation day index of t.
+func (n *Network) day(t time.Time) int64 {
+	return int64(t.Sub(n.epoch) / (24 * time.Hour))
+}
+
+// down reports whether the site is in a scheduled outage at t.
+func (n *Network) down(t time.Time) bool {
+	d := n.day(t)
+	for _, od := range n.cfg.OutageDays {
+		if int64(od) == d {
+			return true
+		}
+	}
+	return false
+}
+
+// InstallURL returns the dialog URL members are redirected to when they
+// click the "install application" button (step 1 of Figure 3).
+func (n *Network) InstallURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return fmt.Sprintf("/dialog/oauth?client_id=%s&redirect_uri=%s&response_type=token", n.cfg.AppID, n.cfg.AppRedirectURI)
+}
+
+// SwitchApp repoints the network at a different susceptible application —
+// the operator move the paper warns about: "collusion networks can (and
+// do sometimes) switch between existing legitimate applications" when
+// one is disrupted. The install link changes immediately; tokens already
+// pooled keep working until they die, and returning members resubmit
+// tokens for the new app.
+func (n *Network) SwitchApp(appID, redirectURI string) {
+	n.mu.Lock()
+	n.cfg.AppID = appID
+	n.cfg.AppRedirectURI = redirectURI
+	n.mu.Unlock()
+}
+
+// Visit records a member landing on the site, serving ads. adblock
+// reports whether the visitor runs an ad blocker; anti-adblock walls
+// refuse such visitors (Sec. 5.1).
+func (n *Network) Visit(adblock bool) error {
+	if n.down(n.clock.Now()) {
+		return ErrOutage
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if adblock && n.cfg.RequireAdblockOff {
+		return ErrAdblock
+	}
+	n.stats.Visits++
+	if !adblock {
+		n.stats.AdImpressions += int64(n.cfg.AdsPerVisit)
+	}
+	return nil
+}
+
+// SubmitToken is step 3 of Figure 3: a member pastes the access token
+// copied from the address bar. The network verifies it with a /me call
+// before pooling it.
+func (n *Network) SubmitToken(accountID, token string) error {
+	now := n.clock.Now()
+	if n.down(now) {
+		return ErrOutage
+	}
+	n.mu.Lock()
+	if n.banned[accountID] {
+		n.mu.Unlock()
+		return ErrBanned
+	}
+	n.mu.Unlock()
+	profile, err := n.client.Me(token, n.pickIP())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadToken, err)
+	}
+	if profile.ID != accountID {
+		return fmt.Errorf("%w: token belongs to %s", ErrBadToken, profile.ID)
+	}
+	n.pool.Put(accountID, token, now)
+	n.mu.Lock()
+	n.stats.TokensCollected++
+	n.mu.Unlock()
+	return nil
+}
+
+// Challenge issues a CAPTCHA for the member's next request and returns
+// its question.
+func (n *Network) Challenge(accountID string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := captchaChallenge{a: n.rng.Intn(10), b: n.rng.Intn(10)}
+	n.captcha[accountID] = c
+	return fmt.Sprintf("%d+%d=", c.a, c.b)
+}
+
+// checkSiteRules enforces membership, outages, CAPTCHA, per-day limits,
+// and inter-request delays. Premium members with NoRestriction plans skip
+// the limits. Callers must not hold n.mu.
+func (n *Network) checkSiteRules(accountID, captchaAnswer string) error {
+	now := n.clock.Now()
+	if n.down(now) {
+		return ErrOutage
+	}
+	if n.Banned(accountID) {
+		return ErrBanned
+	}
+	if !n.pool.Contains(accountID) {
+		return ErrNotMember
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.HoneypotMaxDaily > 0 {
+		d := n.day(now)
+		if n.hpDay[accountID] != d {
+			n.hpDay[accountID] = d
+			n.hpCount[accountID] = 0
+		}
+		n.hpCount[accountID]++
+		if n.hpCount[accountID] == n.cfg.HoneypotMaxDaily+1 {
+			// Exactly once per suspicious day.
+			n.hpStrikes[accountID]++
+			if n.hpStrikes[accountID] >= n.cfg.HoneypotBanDays {
+				n.banned[accountID] = true
+				delete(n.hpStrikes, accountID)
+				// Drop the banned member's token too (the pool has its
+				// own lock; no ordering issue with n.mu).
+				n.pool.Remove(accountID)
+				return ErrBanned
+			}
+		}
+	}
+	plan, isPremium := n.premium[accountID]
+	unrestricted := isPremium && plan.NoRestriction
+	premiumAuto := isPremium && plan.AutoDelivery
+	// Validate every gate before consuming any, so a member (or the
+	// honeypot automation) never burns an ad-wall pass on a request that
+	// fails the CAPTCHA, or vice versa.
+	if n.cfg.AdWallHops > 0 && !premiumAuto && !n.adWallPass[accountID] {
+		return ErrAdWallRequired
+	}
+	if n.cfg.CaptchaRequired && !premiumAuto {
+		c, ok := n.captcha[accountID]
+		if !ok || captchaAnswer == "" {
+			return ErrCaptchaRequired
+		}
+		if captchaAnswer != fmt.Sprintf("%d", c.a+c.b) {
+			return ErrCaptchaWrong
+		}
+	}
+	if !premiumAuto {
+		delete(n.adWallPass, accountID) // one request per chain walk
+		delete(n.captcha, accountID)
+	}
+	if !unrestricted {
+		if n.cfg.RequestDelay > 0 {
+			if last, ok := n.lastReq[accountID]; ok && now.Sub(last) < n.cfg.RequestDelay {
+				return ErrTooSoon
+			}
+		}
+		if n.cfg.DailyRequestLimit > 0 {
+			d := n.day(now)
+			if n.reqDay[accountID] != d {
+				n.reqDay[accountID] = d
+				n.reqCount[accountID] = 0
+			}
+			if n.reqCount[accountID] >= n.cfg.DailyRequestLimit {
+				return ErrDailyLimit
+			}
+			n.reqCount[accountID]++
+		}
+	}
+	n.lastReq[accountID] = now
+	return nil
+}
+
+// likesFor returns the like quota for the member's plan.
+func (n *Network) likesFor(accountID string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if plan, ok := n.premium[accountID]; ok && plan.LikesPerPost > n.cfg.LikesPerRequest {
+		return plan.LikesPerPost
+	}
+	return n.cfg.LikesPerRequest
+}
+
+// RequestLikes is the core service: the member asks for likes on a post
+// of theirs. It returns the number of likes actually delivered.
+func (n *Network) RequestLikes(accountID, postID, captchaAnswer string) (int, error) {
+	if err := n.checkSiteRules(accountID, captchaAnswer); err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	n.stats.LikeRequests++
+	n.mu.Unlock()
+	quota := n.likesFor(accountID)
+	delivered := n.deliver(quota, accountID, false, func(s Sampled, ip string) error {
+		return n.client.Like(s.Token, postID, ip)
+	})
+	return delivered, nil
+}
+
+// RequestComments asks for auto-comments on a post. Comments are drawn
+// from the network's finite dictionary (Table 6).
+func (n *Network) RequestComments(accountID, postID, captchaAnswer string) (int, error) {
+	if n.cfg.CommentsPerRequest <= 0 || len(n.cfg.CommentDictionary) == 0 {
+		return 0, ErrNoComments
+	}
+	if err := n.checkSiteRules(accountID, captchaAnswer); err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	n.stats.CommentRequests++
+	n.mu.Unlock()
+	delivered := n.deliver(n.cfg.CommentsPerRequest, accountID, true, func(s Sampled, ip string) error {
+		n.mu.Lock()
+		msg := n.cfg.CommentDictionary[n.rng.Intn(len(n.cfg.CommentDictionary))]
+		n.mu.Unlock()
+		_, err := n.client.Comment(s.Token, postID, msg, ip)
+		return err
+	})
+	return delivered, nil
+}
+
+// RequestCustomComments delivers a member-supplied comment text via
+// sampled tokens — the variant the paper observed on networks that "ask
+// users to input comments" instead of drawing from a dictionary.
+func (n *Network) RequestCustomComments(accountID, postID, message, captchaAnswer string, count int) (int, error) {
+	if message == "" {
+		return 0, fmt.Errorf("collusion: empty custom comment")
+	}
+	if count <= 0 {
+		count = n.cfg.CommentsPerRequest
+	}
+	if count <= 0 {
+		count = 10
+	}
+	if err := n.checkSiteRules(accountID, captchaAnswer); err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	n.stats.CommentRequests++
+	n.mu.Unlock()
+	delivered := n.deliver(count, accountID, true, func(s Sampled, ip string) error {
+		_, err := n.client.Comment(s.Token, postID, message, ip)
+		return err
+	})
+	return delivered, nil
+}
+
+// deliver samples tokens and fires one action per token, handling
+// failures: dead tokens are dropped from the pool, rate limiting is
+// recorded and may trigger sampling adaptation. Failed draws are
+// replaced with fresh samples within a bounded attempt budget (2× the
+// quota), which is what softens the impact of partial token invalidation:
+// the engine burns through dead tokens to keep its per-request quota,
+// shrinking its pool in the process (the gradual-dip-then-recover
+// dynamics of Figure 5).
+func (n *Network) deliver(quota int, requester string, comment bool, act func(Sampled, string) error) int {
+	now := n.clock.Now()
+	n.mu.Lock()
+	hotSet := n.cfg.HotSetSize
+	if n.adapted {
+		hotSet = 0
+	}
+	rng := n.rng
+	n.mu.Unlock()
+
+	exclude := map[string]bool{requester: true}
+	delivered, attempts := 0, 0
+	// A 1.5× attempt budget: the engine replaces some failures but does
+	// not scour the pool indefinitely, so a half-invalidated pool shows a
+	// visible (~25%) dip before dead tokens purge — Figure 5's day-23
+	// shape.
+	budget := quota + quota/2
+	for delivered < quota && attempts < budget {
+		sampled := n.pool.Sample(rng, quota-delivered, exclude, n.cfg.MaxPerTokenHourly, hotSet, now)
+		if len(sampled) == 0 {
+			break
+		}
+		for _, s := range sampled {
+			exclude[s.AccountID] = true
+			attempts++
+			ip := n.pickIP()
+			err := act(s, ip)
+			n.mu.Lock()
+			if !comment {
+				n.stats.LikesAttempted++
+			}
+			if err == nil {
+				if comment {
+					n.stats.CommentsDelivered++
+				} else {
+					n.stats.LikesDelivered++
+				}
+				delivered++
+				n.mu.Unlock()
+				continue
+			}
+			code := platform.ErrorCode(err)
+			n.stats.FailuresByCode[code]++
+			n.mu.Unlock()
+			switch code {
+			case graphapi.CodeInvalidToken, graphapi.CodeAccountSuspended:
+				// Dead token: drop the member until they resubmit.
+				if n.pool.Remove(s.AccountID) {
+					n.mu.Lock()
+					n.stats.TokensDropped++
+					n.mu.Unlock()
+				}
+			case graphapi.CodeRateLimited:
+				n.noteRateLimited(now)
+			}
+		}
+	}
+	return delivered
+}
+
+// noteRateLimited records a rate-limit observation and flips the engine
+// to uniform sampling once the operator has seen enough distinct days of
+// throttling (the ~one week adaptation of Sec. 6.1).
+func (n *Network) noteRateLimited(now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rateLimitDays[n.day(now)] = true
+	if !n.adapted && n.cfg.HotSetSize > 0 && len(n.rateLimitDays) >= n.cfg.AdaptationLagDays {
+		n.adapted = true
+		n.stats.Adapted = true
+	}
+}
+
+// pickIP draws a source address from the network's pool.
+func (n *Network) pickIP() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.IPs[n.rng.Intn(len(n.cfg.IPs))]
+}
+
+// BuyPlan upgrades a member to a premium plan (Sec. 5.1 monetization).
+func (n *Network) BuyPlan(accountID, planName string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.cfg.PremiumPlans {
+		if p.Name == planName {
+			n.premium[accountID] = p
+			n.stats.RevenueUSD += p.PriceUSD
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownPlan, planName)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.stats
+	out.FailuresByCode = make(map[int]int64, len(n.stats.FailuresByCode))
+	for k, v := range n.stats.FailuresByCode {
+		out.FailuresByCode[k] = v
+	}
+	out.Adapted = n.adapted
+	return out
+}
+
+// MembershipSize returns the current token pool size.
+func (n *Network) MembershipSize() int { return n.pool.Size() }
+
+// Banned reports whether the network's honeypot detector has banned the
+// account.
+func (n *Network) Banned(accountID string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.banned[accountID]
+}

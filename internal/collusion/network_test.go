@@ -1,0 +1,487 @@
+package collusion
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/defense"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+// harness assembles a platform, one exploited app, a member population
+// with pooled tokens, and a collusion network under test.
+type harness struct {
+	clock   *simclock.Simulated
+	p       *platform.Platform
+	client  platform.Client
+	app     apps.App
+	network *Network
+	members []socialgraph.Account
+}
+
+func newHarness(t *testing.T, cfg Config, members int) *harness {
+	t.Helper()
+	clock := simclock.NewSimulated(t0)
+	p := platform.New(clock, nil)
+	app := p.Apps.Register(apps.Config{
+		Name:              "HTC Sense",
+		RedirectURI:       "https://htc.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	client := platform.NewLocalClient(p)
+	cfg.AppID = app.ID
+	cfg.AppRedirectURI = app.RedirectURI
+	if cfg.Name == "" {
+		cfg.Name = "test-liker.net"
+	}
+	n := NewNetwork(cfg, clock, client)
+	h := &harness{clock: clock, p: p, client: client, app: app, network: n}
+	for i := 0; i < members; i++ {
+		h.join(t, fmt.Sprintf("member-%d", i))
+	}
+	return h
+}
+
+// join creates an account, walks the implicit flow, and submits the
+// leaked token to the network.
+func (h *harness) join(t *testing.T, name string) socialgraph.Account {
+	t.Helper()
+	acct := h.p.Graph.CreateAccount(name, "IN", h.clock.Now())
+	tok, err := h.client.AuthorizeImplicit(h.app.ID, h.app.RedirectURI, acct.ID,
+		[]string{apps.PermPublicProfile, apps.PermPublishActions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.network.SubmitToken(acct.ID, tok); err != nil {
+		t.Fatal(err)
+	}
+	h.members = append(h.members, acct)
+	return acct
+}
+
+func (h *harness) post(t *testing.T, author socialgraph.Account) socialgraph.Post {
+	t.Helper()
+	p, err := h.p.Graph.CreatePost(author.ID, "please like", socialgraph.WriteMeta{At: h.clock.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSubmitTokenVerifies(t *testing.T) {
+	h := newHarness(t, Config{}, 0)
+	acct := h.p.Graph.CreateAccount("alice", "IN", t0)
+	if err := h.network.SubmitToken(acct.ID, "garbage-token"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("garbage token err = %v", err)
+	}
+	tok, err := h.client.AuthorizeImplicit(h.app.ID, h.app.RedirectURI, acct.ID, []string{apps.PermPublishActions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token belonging to a different account is rejected.
+	if err := h.network.SubmitToken("someone-else", tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("mismatched token err = %v", err)
+	}
+	if err := h.network.SubmitToken(acct.ID, tok); err != nil {
+		t.Fatal(err)
+	}
+	if h.network.MembershipSize() != 1 {
+		t.Fatalf("MembershipSize = %d", h.network.MembershipSize())
+	}
+}
+
+func TestRequestLikesDeliversQuota(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 50}, 120)
+	requester := h.members[0]
+	post := h.post(t, requester)
+	delivered, err := h.network.RequestLikes(requester.ID, post.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 50 {
+		t.Fatalf("delivered = %d, want 50", delivered)
+	}
+	likes := h.p.Graph.Likes(post.ID)
+	if len(likes) != 50 {
+		t.Fatalf("stored likes = %d", len(likes))
+	}
+	for _, l := range likes {
+		if l.AccountID == requester.ID {
+			t.Fatal("requester's own token used on their post")
+		}
+		if l.AppID != h.app.ID {
+			t.Fatalf("like not attributed to exploited app: %+v", l)
+		}
+	}
+}
+
+func TestRequestLikesRequiresMembership(t *testing.T) {
+	h := newHarness(t, Config{}, 5)
+	outsider := h.p.Graph.CreateAccount("outsider", "IN", t0)
+	post := h.post(t, outsider)
+	if _, err := h.network.RequestLikes(outsider.ID, post.ID, ""); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("non-member request err = %v", err)
+	}
+}
+
+func TestDailyRequestLimit(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5, DailyRequestLimit: 2}, 30)
+	requester := h.members[0]
+	for i := 0; i < 2; i++ {
+		post := h.post(t, requester)
+		if _, err := h.network.RequestLikes(requester.ID, post.ID, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post := h.post(t, requester)
+	if _, err := h.network.RequestLikes(requester.ID, post.ID, ""); !errors.Is(err, ErrDailyLimit) {
+		t.Fatalf("over-limit err = %v", err)
+	}
+	// Next day the allowance resets.
+	h.clock.Advance(24 * time.Hour)
+	if _, err := h.network.RequestLikes(requester.ID, post.ID, ""); err != nil {
+		t.Fatalf("next-day request err = %v", err)
+	}
+}
+
+func TestRequestDelay(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5, RequestDelay: 10 * time.Minute}, 30)
+	requester := h.members[0]
+	p1 := h.post(t, requester)
+	if _, err := h.network.RequestLikes(requester.ID, p1.ID, ""); err != nil {
+		t.Fatal(err)
+	}
+	p2 := h.post(t, requester)
+	if _, err := h.network.RequestLikes(requester.ID, p2.ID, ""); !errors.Is(err, ErrTooSoon) {
+		t.Fatalf("rapid request err = %v", err)
+	}
+	h.clock.Advance(10 * time.Minute)
+	if _, err := h.network.RequestLikes(requester.ID, p2.ID, ""); err != nil {
+		t.Fatalf("delayed request err = %v", err)
+	}
+}
+
+func TestCaptchaGate(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5, CaptchaRequired: true}, 30)
+	requester := h.members[0]
+	post := h.post(t, requester)
+	if _, err := h.network.RequestLikes(requester.ID, post.ID, ""); !errors.Is(err, ErrCaptchaRequired) {
+		t.Fatalf("no-captcha err = %v", err)
+	}
+	challenge := h.network.Challenge(requester.ID)
+	if _, err := h.network.RequestLikes(requester.ID, post.ID, "999"); !errors.Is(err, ErrCaptchaWrong) {
+		t.Fatalf("wrong answer err = %v", err)
+	}
+	// Solve: parse "a+b=".
+	var a, b int
+	if _, err := fmt.Sscanf(challenge, "%d+%d=", &a, &b); err != nil {
+		t.Fatalf("challenge %q: %v", challenge, err)
+	}
+	// A fresh challenge must be requested after a wrong attempt cleared it?
+	// The wrong answer does not clear it; answer the same challenge.
+	if _, err := h.network.RequestLikes(requester.ID, post.ID, fmt.Sprint(a+b)); err != nil {
+		t.Fatalf("solved captcha err = %v", err)
+	}
+}
+
+func TestOutageDays(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5, OutageDays: []int{1}}, 10)
+	requester := h.members[0]
+	post := h.post(t, requester)
+	if _, err := h.network.RequestLikes(requester.ID, post.ID, ""); err != nil {
+		t.Fatal(err)
+	}
+	h.clock.Advance(24 * time.Hour) // day 1: outage
+	if _, err := h.network.RequestLikes(requester.ID, post.ID, ""); !errors.Is(err, ErrOutage) {
+		t.Fatalf("outage day err = %v", err)
+	}
+	if err := h.network.Visit(false); !errors.Is(err, ErrOutage) {
+		t.Fatalf("outage visit err = %v", err)
+	}
+	h.clock.Advance(24 * time.Hour) // day 2: back up
+	post2 := h.post(t, requester)
+	if _, err := h.network.RequestLikes(requester.ID, post2.ID, ""); err != nil {
+		t.Fatalf("post-outage err = %v", err)
+	}
+}
+
+func TestDeadTokensDropped(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 10}, 20)
+	// Invalidate every member token out from under the network.
+	for _, m := range h.members {
+		h.p.OAuth.InvalidateAccount(m.ID, "sweep")
+	}
+	requester := h.members[0]
+	post := h.post(t, requester)
+	delivered, err := h.network.RequestLikes(requester.ID, post.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered = %d with all tokens dead", delivered)
+	}
+	// The engine resamples replacements for failures within its attempt
+	// budget (2×quota = 20), burning through dead tokens: it drains all 19
+	// non-requester members before giving up.
+	st := h.network.Stats()
+	if st.TokensDropped != 19 {
+		t.Fatalf("TokensDropped = %d, want 19", st.TokensDropped)
+	}
+	if h.network.MembershipSize() != 1 {
+		t.Fatalf("MembershipSize = %d, want 1 (only the requester left)", h.network.MembershipSize())
+	}
+}
+
+func TestCommentsFromDictionary(t *testing.T) {
+	dict := []string{"gr8", "AW E S O M E", "bravooooo"}
+	h := newHarness(t, Config{LikesPerRequest: 5, CommentsPerRequest: 8, CommentDictionary: dict}, 30)
+	requester := h.members[0]
+	post := h.post(t, requester)
+	delivered, err := h.network.RequestComments(requester.ID, post.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 8 {
+		t.Fatalf("delivered = %d, want 8", delivered)
+	}
+	inDict := func(msg string) bool {
+		for _, d := range dict {
+			if d == msg {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range h.p.Graph.Comments(post.ID) {
+		if !inDict(c.Message) {
+			t.Fatalf("comment %q not from dictionary", c.Message)
+		}
+	}
+	st := h.network.Stats()
+	if st.CommentsDelivered != 8 || st.CommentRequests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoCommentService(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5}, 5)
+	requester := h.members[0]
+	post := h.post(t, requester)
+	if _, err := h.network.RequestComments(requester.ID, post.ID, ""); !errors.Is(err, ErrNoComments) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPremiumPlanOverridesLimits(t *testing.T) {
+	plan := Plan{Name: "gold", PriceUSD: 29.99, LikesPerPost: 80, AutoDelivery: true, NoRestriction: true}
+	h := newHarness(t, Config{
+		LikesPerRequest:   10,
+		DailyRequestLimit: 1,
+		CaptchaRequired:   true,
+		PremiumPlans:      []Plan{plan},
+	}, 150)
+	requester := h.members[0]
+	if err := h.network.BuyPlan(requester.ID, "gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.network.BuyPlan(requester.ID, "platinum"); !errors.Is(err, ErrUnknownPlan) {
+		t.Fatalf("unknown plan err = %v", err)
+	}
+	// Premium: no captcha, no daily limit, bigger quota.
+	for i := 0; i < 3; i++ {
+		post := h.post(t, requester)
+		delivered, err := h.network.RequestLikes(requester.ID, post.ID, "")
+		if err != nil {
+			t.Fatalf("premium request %d err = %v", i, err)
+		}
+		if delivered != 80 {
+			t.Fatalf("premium delivered = %d, want 80", delivered)
+		}
+	}
+	if got := h.network.Stats().RevenueUSD; got != 29.99 {
+		t.Fatalf("revenue = %v", got)
+	}
+}
+
+func TestMonetizationCounters(t *testing.T) {
+	h := newHarness(t, Config{AdsPerVisit: 3, RequireAdblockOff: true}, 0)
+	if err := h.network.Visit(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.network.Visit(true); !errors.Is(err, ErrAdblock) {
+		t.Fatalf("adblock visit err = %v", err)
+	}
+	st := h.network.Stats()
+	if st.Visits != 1 || st.AdImpressions != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRateLimitAdaptation(t *testing.T) {
+	// A hot-set engine hammered by a tight token rate limit must adapt to
+	// uniform sampling after AdaptationLagDays distinct days of errors —
+	// the official-liker.net bounce-back of Figure 5.
+	h := newHarness(t, Config{
+		LikesPerRequest:   20,
+		HotSetSize:        25,
+		AdaptationLagDays: 3,
+		MaxPerTokenHourly: 100, // disable the spread cap for this test
+	}, 300)
+	limiter := defense.NewTokenRateLimiter(h.clock, 2, 24*time.Hour)
+	h.p.Chain().Append(limiter)
+
+	requester := h.members[0]
+	deliveredByDay := make([]int, 6)
+	for day := 0; day < 6; day++ {
+		total := 0
+		for r := 0; r < 10; r++ {
+			post := h.post(t, requester)
+			d, err := h.network.RequestLikes(requester.ID, post.ID, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += d
+			h.clock.Advance(time.Hour)
+		}
+		deliveredByDay[day] = total
+		h.clock.Advance(14 * time.Hour)
+	}
+	st := h.network.Stats()
+	if !st.Adapted {
+		t.Fatalf("engine did not adapt; per-day = %v, stats = %+v", deliveredByDay, st)
+	}
+	// Before adaptation the hot set of 25 tokens can serve at most
+	// 25 tokens × 2 likes/day = 50 of the 200 requested; after adaptation
+	// the full pool serves nearly all.
+	if deliveredByDay[0] > 60 {
+		t.Fatalf("day 0 delivered %d, expected rate limit to bite", deliveredByDay[0])
+	}
+	last := deliveredByDay[len(deliveredByDay)-1]
+	if last < 150 {
+		t.Fatalf("post-adaptation delivered %d, expected recovery", last)
+	}
+}
+
+func TestStatsSnapshotIsolated(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 2}, 10)
+	st := h.network.Stats()
+	st.FailuresByCode[190] = 999
+	if h.network.Stats().FailuresByCode[190] == 999 {
+		t.Fatal("Stats leaked internal map")
+	}
+}
+
+func TestInstallURLMentionsApp(t *testing.T) {
+	h := newHarness(t, Config{}, 0)
+	u := h.network.InstallURL()
+	if !strings.Contains(u, h.app.ID) || !strings.Contains(u, "response_type=token") {
+		t.Fatalf("InstallURL = %q", u)
+	}
+}
+
+func TestRequestCustomComments(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5}, 30)
+	requester := h.members[0]
+	post := h.post(t, requester)
+	delivered, err := h.network.RequestCustomComments(requester.ID, post.ID, "vote for my page!!", "", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 6 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	for _, c := range h.p.Graph.Comments(post.ID) {
+		if c.Message != "vote for my page!!" {
+			t.Fatalf("comment = %q", c.Message)
+		}
+		if c.AccountID == requester.ID {
+			t.Fatal("requester commented on own post")
+		}
+	}
+	if _, err := h.network.RequestCustomComments(requester.ID, post.ID, "", "", 3); err == nil {
+		t.Fatal("empty custom comment accepted")
+	}
+	if _, err := h.network.RequestCustomComments("stranger", post.ID, "hi", "", 3); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("non-member err = %v", err)
+	}
+	st := h.network.Stats()
+	if st.CommentsDelivered != 6 || st.CommentRequests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRequestCustomCommentsDefaultCount(t *testing.T) {
+	h := newHarness(t, Config{LikesPerRequest: 5, CommentsPerRequest: 4, CommentDictionary: []string{"x"}}, 30)
+	requester := h.members[0]
+	post := h.post(t, requester)
+	delivered, err := h.network.RequestCustomComments(requester.ID, post.ID, "custom", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 4 {
+		t.Fatalf("delivered = %d, want CommentsPerRequest default", delivered)
+	}
+}
+
+// TestOwnAppUselessForManipulation reproduces the Section 3 constraint:
+// a collusion network registering its own (unreviewed) application gets
+// no write permission, so its pooled tokens cannot like anything — which
+// is why the networks hijack existing reviewed apps.
+func TestOwnAppUselessForManipulation(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	p := platform.New(clock, nil)
+	ownApp := p.Apps.RegisterUnreviewed(apps.Config{
+		Name:              "TotallyLegit Liker",
+		RedirectURI:       "https://liker.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	client := platform.NewLocalClient(p)
+	n := NewNetwork(Config{
+		Name:            "own-app-liker.net",
+		AppID:           ownApp.ID,
+		AppRedirectURI:  ownApp.RedirectURI,
+		LikesPerRequest: 5,
+	}, clock, client)
+
+	// Members can still install the app and leak tokens (basic scopes
+	// survive review stripping)...
+	var member socialgraph.Account
+	for i := 0; i < 10; i++ {
+		acct := p.Graph.CreateAccount(fmt.Sprintf("m%d", i), "IN", clock.Now())
+		tok, err := client.AuthorizeImplicit(ownApp.ID, ownApp.RedirectURI, acct.ID,
+			[]string{apps.PermPublicProfile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SubmitToken(acct.ID, tok); err != nil {
+			t.Fatal(err)
+		}
+		member = acct
+	}
+	// ...but every like attempt dies on the missing publish_actions scope.
+	post, err := p.Graph.CreatePost(member.ID, "like me", socialgraph.WriteMeta{At: clock.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, err := n.RequestLikes(member.ID, post.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatalf("unreviewed app delivered %d likes", delivered)
+	}
+	st := n.Stats()
+	if st.FailuresByCode[200] == 0 { // CodePermission
+		t.Fatalf("no permission failures recorded: %v", st.FailuresByCode)
+	}
+}

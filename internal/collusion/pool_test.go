@@ -1,0 +1,150 @@
+package collusion
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
+
+func filledPool(n int) *TokenPool {
+	p := NewTokenPool()
+	for i := 0; i < n; i++ {
+		p.Put(fmt.Sprintf("acct-%d", i), fmt.Sprintf("tok-%d", i), t0)
+	}
+	return p
+}
+
+func TestPoolPutRefreshes(t *testing.T) {
+	p := NewTokenPool()
+	p.Put("a", "tok-1", t0)
+	p.Put("a", "tok-2", t0.Add(time.Hour))
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+	tok, ok := p.Token("a")
+	if !ok || tok != "tok-2" {
+		t.Fatalf("Token = %q, %v", tok, ok)
+	}
+}
+
+func TestPoolRemove(t *testing.T) {
+	p := filledPool(3)
+	if !p.Remove("acct-1") {
+		t.Fatal("Remove existing = false")
+	}
+	if p.Remove("acct-1") {
+		t.Fatal("Remove twice = true")
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.Contains("acct-1") {
+		t.Fatal("removed member still present")
+	}
+	members := p.Members()
+	if len(members) != 2 || members[0] != "acct-0" || members[1] != "acct-2" {
+		t.Fatalf("Members = %v", members)
+	}
+}
+
+func TestSampleDistinctAndExcluding(t *testing.T) {
+	p := filledPool(50)
+	rng := rand.New(rand.NewSource(1))
+	exclude := map[string]bool{"acct-7": true}
+	got := p.Sample(rng, 10, exclude, 0, 0, t0)
+	if len(got) != 10 {
+		t.Fatalf("sampled %d, want 10", len(got))
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		if s.AccountID == "acct-7" {
+			t.Fatal("excluded member sampled")
+		}
+		if seen[s.AccountID] {
+			t.Fatalf("duplicate sample %s", s.AccountID)
+		}
+		seen[s.AccountID] = true
+	}
+}
+
+func TestSampleShortPool(t *testing.T) {
+	p := filledPool(3)
+	rng := rand.New(rand.NewSource(1))
+	got := p.Sample(rng, 10, nil, 0, 0, t0)
+	if len(got) != 3 {
+		t.Fatalf("sampled %d from pool of 3", len(got))
+	}
+}
+
+func TestSampleHourlyCap(t *testing.T) {
+	p := filledPool(5)
+	rng := rand.New(rand.NewSource(1))
+	// With a cap of 2 per hour, 3 consecutive draws of all 5 members can
+	// only succeed twice per member.
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += len(p.Sample(rng, 5, nil, 2, 0, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	if total != 10 {
+		t.Fatalf("sampled %d with cap 2/hour over 5 members, want 10", total)
+	}
+	// After the hour passes, members become available again.
+	got := p.Sample(rng, 5, nil, 2, 0, t0.Add(2*time.Hour))
+	if len(got) != 5 {
+		t.Fatalf("sampled %d after window reset, want 5", len(got))
+	}
+}
+
+func TestSampleHotSetPrefersRecent(t *testing.T) {
+	p := NewTokenPool()
+	for i := 0; i < 100; i++ {
+		p.Put(fmt.Sprintf("acct-%d", i), fmt.Sprintf("tok-%d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	rng := rand.New(rand.NewSource(1))
+	got := p.Sample(rng, 10, nil, 0, 10, t0.Add(time.Hour))
+	for _, s := range got {
+		var idx int
+		if _, err := fmt.Sscanf(s.AccountID, "acct-%d", &idx); err != nil {
+			t.Fatal(err)
+		}
+		if idx < 90 {
+			t.Fatalf("hot-set sample drew old member %s", s.AccountID)
+		}
+	}
+}
+
+func TestSampleEmptyPool(t *testing.T) {
+	p := NewTokenPool()
+	rng := rand.New(rand.NewSource(1))
+	if got := p.Sample(rng, 10, nil, 0, 0, t0); len(got) != 0 {
+		t.Fatalf("sampled %d from empty pool", len(got))
+	}
+}
+
+// Property: samples are always distinct, never excluded, and at most n.
+func TestQuickSampleInvariants(t *testing.T) {
+	f := func(poolSize, n uint8, seed int64) bool {
+		p := filledPool(int(poolSize) % 64)
+		rng := rand.New(rand.NewSource(seed))
+		exclude := map[string]bool{"acct-0": true}
+		got := p.Sample(rng, int(n)%32, exclude, 0, 0, t0)
+		if len(got) > int(n)%32 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, s := range got {
+			if s.AccountID == "acct-0" || seen[s.AccountID] {
+				return false
+			}
+			seen[s.AccountID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package core is the top-level library of the reproduction: it wires the
+// simulated world (platform + collusion networks + member populations)
+// together with the measurement apparatus (honeypots + estimators) and
+// the countermeasure stack, exposing the paper's measure-and-mitigate
+// loop as a single Study object.
+//
+// A Study owns:
+//
+//   - a workload.Scenario — the platform, exploited applications, and the
+//     instantiated collusion networks with populated token pools;
+//   - one honeypot per collusion network, already joined;
+//   - per-network estimators fed by every milking round (Table 4,
+//     Figures 4 and 6);
+//   - a Countermeasures handle through which the Section 6 defenses are
+//     deployed incrementally, exactly as in the Figure 5 timeline.
+//
+// Time is fully simulated: AdvanceHour/AdvanceDay move the world forward.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/collusion"
+	"repro/internal/defense"
+	"repro/internal/graphapi"
+	"repro/internal/honeypot"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// Study is the orchestrated reproduction.
+type Study struct {
+	Scenario *workload.Scenario
+	// Honeypots and Estimators are keyed by collusion network name.
+	Honeypots  map[string]*honeypot.Honeypot
+	Estimators map[string]*honeypot.Estimator
+
+	counter *Countermeasures
+	rng     *rand.Rand
+}
+
+// NewStudy builds the world and infiltrates every selected collusion
+// network with a honeypot.
+func NewStudy(opts workload.Options) (*Study, error) {
+	scenario, err := workload.BuildScenario(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{
+		Scenario:   scenario,
+		Honeypots:  make(map[string]*honeypot.Honeypot),
+		Estimators: make(map[string]*honeypot.Estimator),
+		rng:        rand.New(rand.NewSource(scenario.Opts.Seed + 99)),
+	}
+	for _, ni := range scenario.Networks {
+		hp := honeypot.New(honeypot.Config{
+			Clock:   scenario.Clock,
+			Graph:   scenario.Platform.Graph,
+			Client:  scenario.Client,
+			Site:    ni.Net,
+			App:     scenario.Apps[ni.Spec.App],
+			Name:    "honeypot-" + ni.Spec.Name,
+			Country: "US",
+		})
+		if err := hp.Join(); err != nil {
+			return nil, fmt.Errorf("core: honeypot join %s: %w", ni.Spec.Name, err)
+		}
+		s.Honeypots[ni.Spec.Name] = hp
+		s.Estimators[ni.Spec.Name] = honeypot.NewEstimator()
+	}
+	s.counter = newCountermeasures(s)
+	return s, nil
+}
+
+// Clock returns the study's simulated clock.
+func (s *Study) Clock() *simclock.Simulated { return s.Scenario.Clock }
+
+// AdvanceHour moves simulated time forward one hour.
+func (s *Study) AdvanceHour() { s.Scenario.Clock.Advance(time.Hour) }
+
+// AdvanceDay moves simulated time forward one day.
+func (s *Study) AdvanceDay() { s.Scenario.Clock.Advance(24 * time.Hour) }
+
+// MilkResult is the outcome of one milking round on one network.
+type MilkResult struct {
+	Network   string
+	PostID    string
+	Delivered int
+	Likers    []string
+	Err       error
+}
+
+// MilkNetwork performs one milking round against the named network: the
+// honeypot posts a status, requests likes, and crawls the likers. The
+// estimator is updated and the milked accounts are queued with the
+// countermeasure pipeline (they only get invalidated when a sweep runs).
+//
+// When the site has dropped the honeypot's membership — its token expired
+// or was invalidated (the countermeasures do not spare honeypots) — the
+// honeypot re-runs the install flow and retries once, as the paper's
+// long-running automation had to.
+func (s *Study) MilkNetwork(name string) MilkResult {
+	hp, ok := s.Honeypots[name]
+	if !ok {
+		return MilkResult{Network: name, Err: fmt.Errorf("core: unknown network %q", name)}
+	}
+	postID, delivered, err := hp.MilkOnce()
+	if err != nil && errors.Is(err, collusion.ErrNotMember) {
+		if rerr := hp.Rejoin(); rerr == nil {
+			postID, delivered, err = hp.MilkOnce()
+		}
+	}
+	if err != nil {
+		return MilkResult{Network: name, PostID: postID, Err: err}
+	}
+	likes := s.Scenario.Platform.Graph.Likes(postID)
+	likers := make([]string, len(likes))
+	for i, l := range likes {
+		likers[i] = l.AccountID
+	}
+	s.Estimators[name].ObservePost(likers)
+	s.counter.noteMilked(likers)
+	return MilkResult{Network: name, PostID: postID, Delivered: delivered, Likers: likers}
+}
+
+// AddHoneypot registers an additional honeypot on the named network and
+// joins it — the Sec. 6.5 counter to collusion-network honeypot
+// detection: several accounts each below the suspicion threshold carry
+// the campaign a single aggressive honeypot cannot.
+func (s *Study) AddHoneypot(network string) (*honeypot.Honeypot, error) {
+	ni, ok := s.Scenario.FindNetwork(network)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown network %q", network)
+	}
+	hp := honeypot.New(honeypot.Config{
+		Clock:   s.Scenario.Clock,
+		Graph:   s.Scenario.Platform.Graph,
+		Client:  s.Scenario.Client,
+		Site:    ni.Net,
+		App:     s.Scenario.Apps[ni.Spec.App],
+		Name:    fmt.Sprintf("honeypot-%s-%d", network, s.rng.Int()),
+		Country: "US",
+	})
+	if err := hp.Join(); err != nil {
+		return nil, err
+	}
+	return hp, nil
+}
+
+// MilkVia performs one milking round with a specific honeypot, updating
+// the network's shared estimator and the countermeasure backlog exactly
+// like MilkNetwork. Use with AddHoneypot to spread a campaign across a
+// fleet.
+func (s *Study) MilkVia(hp *honeypot.Honeypot, network string) MilkResult {
+	est, ok := s.Estimators[network]
+	if !ok {
+		return MilkResult{Network: network, Err: fmt.Errorf("core: unknown network %q", network)}
+	}
+	postID, delivered, err := hp.MilkOnce()
+	if err != nil && errors.Is(err, collusion.ErrNotMember) {
+		if rerr := hp.Rejoin(); rerr == nil {
+			postID, delivered, err = hp.MilkOnce()
+		}
+	}
+	if err != nil {
+		return MilkResult{Network: network, PostID: postID, Err: err}
+	}
+	likes := s.Scenario.Platform.Graph.Likes(postID)
+	likers := make([]string, len(likes))
+	for i, l := range likes {
+		likers[i] = l.AccountID
+	}
+	est.ObservePost(likers)
+	s.counter.noteMilked(likers)
+	return MilkResult{Network: network, PostID: postID, Delivered: delivered, Likers: likers}
+}
+
+// MilkAll runs rounds milking rounds against every network and returns
+// the results in network order.
+func (s *Study) MilkAll(rounds int) []MilkResult {
+	var out []MilkResult
+	for r := 0; r < rounds; r++ {
+		for _, ni := range s.Scenario.Networks {
+			out = append(out, s.MilkNetwork(ni.Spec.Name))
+		}
+	}
+	return out
+}
+
+// Countermeasures returns the deployment handle.
+func (s *Study) Countermeasures() *Countermeasures { return s.counter }
+
+// Countermeasures deploys the Section 6 defenses onto the platform's
+// policy chain and manages the honeypot-fed invalidation pipeline.
+type Countermeasures struct {
+	study *Study
+
+	tokenLimiter *defense.TokenRateLimiter
+	ipLimiter    *defense.IPRateLimiter
+	asBlocker    *defense.ASBlocker
+	tap          *defense.SynchroTap
+	invalidator  *defense.Invalidator
+}
+
+func newCountermeasures(s *Study) *Countermeasures {
+	inv := defense.NewInvalidator(defense.AccountRevokerFunc(func(accountID, reason string) bool {
+		return s.Scenario.Platform.OAuth.InvalidateAccount(accountID, reason) > 0
+	}), "honeypot-milked")
+	return &Countermeasures{study: s, invalidator: inv}
+}
+
+func (c *Countermeasures) chain() *graphapi.Chain {
+	return c.study.Scenario.Platform.Chain()
+}
+
+// noteMilked queues milked accounts for future invalidation sweeps.
+func (c *Countermeasures) noteMilked(accountIDs []string) {
+	c.invalidator.Submit(accountIDs)
+}
+
+// SetTokenRateLimit deploys (or adjusts) the per-token write rate limit
+// of Sec. 6.1.
+func (c *Countermeasures) SetTokenRateLimit(limit int, window time.Duration) {
+	if c.tokenLimiter == nil {
+		c.tokenLimiter = defense.NewTokenRateLimiter(c.study.Scenario.Clock, limit, window)
+		c.chain().Append(c.tokenLimiter)
+		return
+	}
+	c.tokenLimiter.SetLimit(limit)
+}
+
+// InvalidateMilkedFraction revokes the given fraction of the queued
+// milked accounts' tokens (Sec. 6.2) and returns how many accounts were
+// swept.
+func (c *Countermeasures) InvalidateMilkedFraction(fraction float64) int {
+	return c.invalidator.InvalidateFraction(fraction, c.study.rng)
+}
+
+// InvalidateMilkedAll revokes every queued milked account's tokens.
+func (c *Countermeasures) InvalidateMilkedAll() int {
+	return c.invalidator.InvalidateAll()
+}
+
+// PendingMilked reports the invalidation backlog size.
+func (c *Countermeasures) PendingMilked() int { return c.invalidator.PendingCount() }
+
+// RevokedMilked reports how many milked accounts have been swept.
+func (c *Countermeasures) RevokedMilked() int { return c.invalidator.RevokedCount() }
+
+// DeployClustering attaches a SynchroTrap detector to the request path
+// (Sec. 6.3) and returns it for inspection.
+func (c *Countermeasures) DeployClustering(window time.Duration, simThreshold float64, minShared, minClusterSize int) *defense.SynchroTrap {
+	trap := defense.NewSynchroTrap(window, simThreshold, minShared, minClusterSize)
+	c.tap = defense.NewSynchroTap(trap)
+	c.chain().Append(c.tap)
+	return trap
+}
+
+// RunClusteringSweep detects clusters and suspends every clustered
+// account's tokens; it returns the number of accounts actioned. In the
+// paper this had no measurable impact — collusion networks spread their
+// activity too thinly (Figures 6–7).
+func (c *Countermeasures) RunClusteringSweep() int {
+	if c.tap == nil {
+		return 0
+	}
+	n := 0
+	for _, cluster := range c.tap.Trap().Detect() {
+		for _, accountID := range cluster.Accounts {
+			if c.study.Scenario.Platform.OAuth.InvalidateAccount(accountID, "synchrotrap") > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DeployIPRateLimits installs the per-IP daily/weekly like caps of
+// Sec. 6.4.
+func (c *Countermeasures) DeployIPRateLimits(daily, weekly int) {
+	if c.ipLimiter != nil {
+		return
+	}
+	c.ipLimiter = defense.NewIPRateLimiter(c.study.Scenario.Clock, daily, weekly)
+	c.chain().Append(c.ipLimiter)
+}
+
+// BlockASes blocks the given autonomous systems for all susceptible
+// applications registered in the scenario (scoping limits collateral
+// damage, Sec. 6.4).
+func (c *Countermeasures) BlockASes(asns ...netsim.ASN) {
+	if c.asBlocker == nil {
+		c.asBlocker = defense.NewASBlocker()
+		for _, app := range c.study.Scenario.Platform.Apps.All() {
+			if app.Susceptible() {
+				c.asBlocker.ScopeToApps(app.ID)
+			}
+		}
+		c.chain().Append(c.asBlocker)
+	}
+	for _, asn := range asns {
+		c.asBlocker.Block(asn)
+	}
+}
+
+// SuspendAccounts checkpoints the given accounts (no writes until
+// reinstated) and invalidates their tokens — the account-level action an
+// abuse-detection verdict feeds (the paper notes OSNs suspend suspicious
+// accounts; the ML extension supplies the verdicts). It returns how many
+// accounts were newly suspended.
+func (c *Countermeasures) SuspendAccounts(accountIDs []string, reason string) int {
+	graph := c.study.Scenario.Platform.Graph
+	oauth := c.study.Scenario.Platform.OAuth
+	n := 0
+	for _, id := range accountIDs {
+		acct, err := graph.Account(id)
+		if err != nil || acct.Suspended {
+			continue
+		}
+		if err := graph.SetSuspended(id, true); err != nil {
+			continue
+		}
+		oauth.InvalidateAccount(id, reason)
+		n++
+	}
+	return n
+}
+
+// ActivePolicies lists the deployed policy names in evaluation order.
+func (c *Countermeasures) ActivePolicies() []string {
+	return c.chain().Names()
+}

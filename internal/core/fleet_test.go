@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/collusion"
+	"repro/internal/workload"
+)
+
+func TestAddHoneypotAndMilkVia(t *testing.T) {
+	s := smallStudy(t)
+	extra, err := s.AddHoneypot("mg-likers.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddHoneypot("nope.example"); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	// Both the primary and the extra honeypot feed the same estimator.
+	r1 := s.MilkNetwork("mg-likers.com")
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	s.AdvanceHour()
+	r2 := s.MilkVia(extra, "mg-likers.com")
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	est := s.Estimators["mg-likers.com"]
+	if est.PostsSubmitted() != 2 {
+		t.Fatalf("posts = %d, want 2 (shared estimator)", est.PostsSubmitted())
+	}
+	if got := s.Countermeasures().PendingMilked(); got == 0 {
+		t.Fatal("fleet milking fed no accounts to the backlog")
+	}
+	if res := s.MilkVia(extra, "ghost"); res.Err == nil {
+		t.Fatal("MilkVia unknown network accepted")
+	}
+}
+
+func TestSuspendAccounts(t *testing.T) {
+	s := smallStudy(t)
+	ni := s.Scenario.Networks[0]
+	targets := []string{ni.Members[0].ID, ni.Members[1].ID, "ghost-account"}
+	n := s.Countermeasures().SuspendAccounts(targets, "ml-detector")
+	if n != 2 {
+		t.Fatalf("suspended = %d, want 2", n)
+	}
+	// Suspended accounts cannot write and their tokens are dead.
+	acct, err := s.Scenario.Platform.Graph.Account(ni.Members[0].ID)
+	if err != nil || !acct.Suspended {
+		t.Fatalf("account = %+v, %v", acct, err)
+	}
+	tok, ok := ni.Net.Pool().Token(ni.Members[0].ID)
+	if !ok {
+		t.Fatal("token missing from pool")
+	}
+	if _, err := s.Scenario.Platform.OAuth.Validate(tok); err == nil {
+		t.Fatal("suspended account's token still valid")
+	}
+	// Idempotent.
+	if again := s.Countermeasures().SuspendAccounts(targets, "ml-detector"); again != 0 {
+		t.Fatalf("second suspension = %d", again)
+	}
+}
+
+// TestFleetBeatsHoneypotDetection drives the Sec. 6.5 counter through the
+// public core API: a paranoid network bans the single primary honeypot,
+// while a fleet of three stays under the threshold.
+func TestFleetBeatsHoneypotDetection(t *testing.T) {
+	// A scenario with honeypot detection armed needs a hand-built network
+	// config; reuse the study but arm detection via a dedicated spec is
+	// not possible, so approximate: aggressive milking of djliker.com
+	// (10/day site limit) is throttled, and the fleet spread works within
+	// the same per-member budget.
+	s, err := NewStudy(workload.Options{
+		Scale:      5000,
+		MinMembers: 60,
+		Networks:   []string{"djliker.com"},
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single honeypot hits the 10/day site limit.
+	failures := 0
+	for i := 0; i < 14; i++ {
+		if res := s.MilkNetwork("djliker.com"); res.Err != nil {
+			if !errors.Is(res.Err, collusion.ErrDailyLimit) {
+				t.Fatal(res.Err)
+			}
+			failures++
+		}
+	}
+	if failures != 4 {
+		t.Fatalf("single honeypot failures = %d, want 4 beyond the 10/day cap", failures)
+	}
+	// A second honeypot extends the same-day budget.
+	extra, err := s.AddHoneypot("djliker.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if res := s.MilkVia(extra, "djliker.com"); res.Err != nil {
+			t.Fatalf("fleet request %d: %v", i, res.Err)
+		}
+	}
+	if got := s.Estimators["djliker.com"].PostsSubmitted(); got != 14 {
+		t.Fatalf("posts = %d, want 14", got)
+	}
+}

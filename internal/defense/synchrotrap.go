@@ -1,0 +1,197 @@
+package defense
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SynchroTrap is a temporal-clustering detector in the spirit of Cao et
+// al. (CCS 2014), which Facebook deployed and the paper evaluated against
+// collusion networks in Sec. 6.3. It flags groups of accounts that act on
+// the same objects at around the same time for a sustained period.
+//
+// Model: each action is bucketed into a (objectID, time-window) group.
+// Two accounts are "synchronized" when the Jaccard similarity of their
+// group sets meets SimilarityThreshold and they share at least MinShared
+// groups. Connected components of synchronized accounts with at least
+// MinClusterSize members are reported as clusters.
+//
+// The paper's negative result reproduces naturally: collusion networks
+// pick a different random token subset per target post (so 76% of
+// hublaa.me accounts appear in at most one group) and spread each
+// account's activity over hours, so pairwise similarity stays below any
+// usable threshold.
+type SynchroTrap struct {
+	// Window is the bucketing granularity for "around the same time".
+	Window time.Duration
+	// SimilarityThreshold is the minimum Jaccard similarity between two
+	// accounts' group sets.
+	SimilarityThreshold float64
+	// MinShared is the minimum number of co-occurring groups before a pair
+	// is even considered (sustained similarity, not one burst).
+	MinShared int
+	// MinActions is the per-account activity floor: accounts appearing in
+	// fewer groups carry too little signal to judge and are skipped, as
+	// in SynchroTrap's daily-similarity aggregation over a sustained
+	// period. Without this floor, two accounts that each acted twice and
+	// happened to co-occur both times would score Jaccard 1.0 by chance.
+	MinActions int
+	// MinClusterSize is the minimum connected-component size reported.
+	MinClusterSize int
+	// MaxGroupFanout skips pair enumeration inside pathologically large
+	// groups to bound cost; 0 means no bound.
+	MaxGroupFanout int
+
+	mu sync.Mutex
+	// groups maps group key -> member accounts (set).
+	groups map[groupKey]map[string]bool
+	// accountGroups maps account -> number of groups it appears in.
+	accountGroups map[string]int
+}
+
+type groupKey struct {
+	object string
+	bucket int64
+}
+
+// NewSynchroTrap returns a detector with the given parameters.
+func NewSynchroTrap(window time.Duration, simThreshold float64, minShared, minClusterSize int) *SynchroTrap {
+	minActions := minShared + 2
+	return &SynchroTrap{
+		Window:              window,
+		SimilarityThreshold: simThreshold,
+		MinShared:           minShared,
+		MinActions:          minActions,
+		MinClusterSize:      minClusterSize,
+		MaxGroupFanout:      2000,
+		groups:              make(map[groupKey]map[string]bool),
+		accountGroups:       make(map[string]int),
+	}
+}
+
+// Record ingests one action (accountID acted on objectID at time t).
+func (s *SynchroTrap) Record(accountID, objectID string, t time.Time) {
+	key := groupKey{object: objectID, bucket: t.UnixNano() / int64(s.Window)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[key]
+	if g == nil {
+		g = make(map[string]bool)
+		s.groups[key] = g
+	}
+	if !g[accountID] {
+		g[accountID] = true
+		s.accountGroups[accountID]++
+	}
+}
+
+// Cluster is one detected group of synchronized accounts.
+type Cluster struct {
+	Accounts []string
+}
+
+// Detect runs the clustering over everything recorded so far and returns
+// the flagged clusters, largest first.
+func (s *SynchroTrap) Detect() []Cluster {
+	s.mu.Lock()
+	// Snapshot group membership.
+	memberships := make([][]string, 0, len(s.groups))
+	for _, g := range s.groups {
+		if s.MaxGroupFanout > 0 && len(g) > s.MaxGroupFanout {
+			continue
+		}
+		members := make([]string, 0, len(g))
+		for a := range g {
+			members = append(members, a)
+		}
+		sort.Strings(members)
+		memberships = append(memberships, members)
+	}
+	accountGroups := make(map[string]int, len(s.accountGroups))
+	for a, n := range s.accountGroups {
+		accountGroups[a] = n
+	}
+	s.mu.Unlock()
+
+	// Count shared groups per account pair.
+	type pair struct{ a, b string }
+	shared := make(map[pair]int)
+	for _, members := range memberships {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				shared[pair{members[i], members[j]}]++
+			}
+		}
+	}
+
+	// Union-find over synchronized pairs.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" {
+			parent[x] = x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for p, n := range shared {
+		if n < s.MinShared {
+			continue
+		}
+		if accountGroups[p.a] < s.MinActions || accountGroups[p.b] < s.MinActions {
+			continue
+		}
+		unionSize := accountGroups[p.a] + accountGroups[p.b] - n
+		if unionSize <= 0 {
+			continue
+		}
+		if float64(n)/float64(unionSize) >= s.SimilarityThreshold {
+			union(p.a, p.b)
+		}
+	}
+
+	comps := make(map[string][]string)
+	for a := range parent {
+		root := find(a)
+		comps[root] = append(comps[root], a)
+	}
+	var out []Cluster
+	for _, members := range comps {
+		if len(members) >= s.MinClusterSize {
+			sort.Strings(members)
+			out = append(out, Cluster{Accounts: members})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Accounts) != len(out[j].Accounts) {
+			return len(out[i].Accounts) > len(out[j].Accounts)
+		}
+		return out[i].Accounts[0] < out[j].Accounts[0]
+	})
+	return out
+}
+
+// Reset discards all recorded actions.
+func (s *SynchroTrap) Reset() {
+	s.mu.Lock()
+	s.groups = make(map[groupKey]map[string]bool)
+	s.accountGroups = make(map[string]int)
+	s.mu.Unlock()
+}
+
+// GroupCount reports how many (object, window) groups have been recorded;
+// exposed for tests and diagnostics.
+func (s *SynchroTrap) GroupCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.groups)
+}

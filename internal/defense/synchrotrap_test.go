@@ -1,0 +1,126 @@
+package defense
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSynchroTrapDetectsLockstep(t *testing.T) {
+	// Ten accounts like the same five posts within the same minute each
+	// time — the lockstep pattern SynchroTrap is built for.
+	st := NewSynchroTrap(time.Minute, 0.5, 2, 3)
+	base := t0
+	for post := 0; post < 5; post++ {
+		at := base.Add(time.Duration(post) * time.Hour)
+		for acct := 0; acct < 10; acct++ {
+			st.Record(fmt.Sprintf("bot-%d", acct), fmt.Sprintf("post-%d", post), at.Add(time.Duration(acct)*time.Second))
+		}
+	}
+	clusters := st.Detect()
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(clusters))
+	}
+	if len(clusters[0].Accounts) != 10 {
+		t.Fatalf("cluster size = %d, want 10", len(clusters[0].Accounts))
+	}
+}
+
+func TestSynchroTrapMissesSpreadOutActivity(t *testing.T) {
+	// The collusion network evasion of Sec. 6.3: each target post is liked
+	// by a *different* random subset of a large pool, and each account
+	// appears in at most one or two groups. No sustained pairwise
+	// similarity exists, so nothing is flagged.
+	st := NewSynchroTrap(time.Minute, 0.5, 2, 3)
+	rng := rand.New(rand.NewSource(42))
+	const poolSize = 2000
+	for post := 0; post < 30; post++ {
+		at := t0.Add(time.Duration(post) * time.Hour)
+		perm := rng.Perm(poolSize)[:100] // fresh random subset per post
+		for i, idx := range perm {
+			// Spread the likes of this subset over many minutes.
+			st.Record(fmt.Sprintf("member-%d", idx), fmt.Sprintf("target-%d", post),
+				at.Add(time.Duration(i)*3*time.Minute))
+		}
+	}
+	clusters := st.Detect()
+	if len(clusters) != 0 {
+		t.Fatalf("spread-out activity produced %d clusters; evasion failed", len(clusters))
+	}
+}
+
+func TestSynchroTrapSeparateComponents(t *testing.T) {
+	st := NewSynchroTrap(time.Minute, 0.5, 2, 2)
+	// Two disjoint pairs, each acting in lockstep on their own posts.
+	for post := 0; post < 4; post++ {
+		at := t0.Add(time.Duration(post) * time.Hour)
+		st.Record("a1", fmt.Sprintf("pa-%d", post), at)
+		st.Record("a2", fmt.Sprintf("pa-%d", post), at)
+		st.Record("b1", fmt.Sprintf("pb-%d", post), at)
+		st.Record("b2", fmt.Sprintf("pb-%d", post), at)
+	}
+	clusters := st.Detect()
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	for _, c := range clusters {
+		if len(c.Accounts) != 2 {
+			t.Fatalf("cluster = %v", c.Accounts)
+		}
+	}
+}
+
+func TestSynchroTrapMinSharedGate(t *testing.T) {
+	// One shared burst is not "sustained": with MinShared=2, a single
+	// co-occurrence must not link accounts.
+	st := NewSynchroTrap(time.Minute, 0.1, 2, 2)
+	st.Record("x", "post", t0)
+	st.Record("y", "post", t0)
+	if clusters := st.Detect(); len(clusters) != 0 {
+		t.Fatalf("single burst created clusters: %v", clusters)
+	}
+}
+
+func TestSynchroTrapWindowBoundary(t *testing.T) {
+	st := NewSynchroTrap(time.Minute, 0.5, 1, 2)
+	st.Record("x", "post", t0)
+	st.Record("y", "post", t0.Add(10*time.Minute)) // different window
+	if got := st.GroupCount(); got != 2 {
+		t.Fatalf("GroupCount = %d, want 2", got)
+	}
+	if clusters := st.Detect(); len(clusters) != 0 {
+		t.Fatalf("cross-window likes clustered: %v", clusters)
+	}
+}
+
+func TestSynchroTrapDuplicateRecordIdempotent(t *testing.T) {
+	st := NewSynchroTrap(time.Minute, 0.5, 2, 2)
+	for i := 0; i < 5; i++ {
+		st.Record("x", "post", t0)
+	}
+	if got := st.GroupCount(); got != 1 {
+		t.Fatalf("GroupCount = %d, want 1", got)
+	}
+}
+
+func TestSynchroTrapMaxGroupFanout(t *testing.T) {
+	st := NewSynchroTrap(time.Minute, 0.1, 1, 2)
+	st.MaxGroupFanout = 10
+	// A group larger than the fanout cap is skipped entirely.
+	for i := 0; i < 50; i++ {
+		st.Record(fmt.Sprintf("m-%d", i), "huge-post", t0)
+	}
+	if clusters := st.Detect(); len(clusters) != 0 {
+		t.Fatalf("oversized group clustered: %d clusters", len(clusters))
+	}
+}
+
+func TestSynchroTrapReset(t *testing.T) {
+	st := NewSynchroTrap(time.Minute, 0.5, 1, 2)
+	st.Record("x", "post", t0)
+	st.Reset()
+	if st.GroupCount() != 0 {
+		t.Fatal("Reset did not clear groups")
+	}
+}

@@ -1,0 +1,18 @@
+package economics_test
+
+import (
+	"fmt"
+
+	"repro/internal/economics"
+)
+
+// mg-likers.com's revenue from its measured traffic: 308K daily short-URL
+// clicks (Table 5) and 177,665 members (Table 4).
+func ExampleModel_EstimateFromTraffic() {
+	m := economics.DefaultModel()
+	e := m.EstimateFromTraffic("mg-likers.com", 308_000, 177_665)
+	fmt.Printf("ads $%.0f/day, premium $%.0f/month, total $%.0f/year\n",
+		e.DailyAdRevenueUSD, e.MonthlyPremiumUSD, e.AnnualTotalUSD)
+	// Output:
+	// ads $462/day, premium $17766/month, total $379518/year
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, row []string, i int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.ReplaceAll(row[i], ",", ""), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", row[i], err)
+	}
+	return v
+}
+
+func TestAblationRateLimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep: skipped with -short")
+	}
+	table, err := AblationRateLimit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// At the generous limit both run at full quota; as the limit drops,
+	// the hot-set network degrades first while the uniform sampler is
+	// untouched until the limit falls below its per-token usage.
+	first, last := table.Rows[0], table.Rows[len(table.Rows)-1]
+	if cell(t, first, 1) < 340 || cell(t, first, 2) < 380 {
+		t.Fatalf("generous limit already binding: %v", first)
+	}
+	if cell(t, last, 2) >= cell(t, first, 2)/2 {
+		t.Fatalf("hot-set network not degraded at tightest limit: %v", last)
+	}
+	// The paper's observation: an order-of-magnitude reduction (200 → 16)
+	// leaves the uniform sampler essentially untouched.
+	var at16 []string
+	for _, row := range table.Rows {
+		if row[0] == "16" {
+			at16 = row
+		}
+	}
+	if at16 == nil || cell(t, at16, 1) < 300 {
+		t.Fatalf("uniform sampler degraded at limit 16: %v", at16)
+	}
+}
+
+func TestAblationInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep: skipped with -short")
+	}
+	table, err := AblationInvalidation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Monotone: more aggressive daily invalidation yields fewer likes at
+	// equilibrium; zero invalidation leaves full quota.
+	if cell(t, table.Rows[0], 1) < 340 {
+		t.Fatalf("no-invalidation row degraded: %v", table.Rows[0])
+	}
+	if !(cell(t, table.Rows[3], 1) < cell(t, table.Rows[0], 1)) {
+		t.Fatalf("full daily invalidation not below baseline: %v vs %v", table.Rows[3], table.Rows[0])
+	}
+}
+
+func TestAblationClustering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep: skipped with -short")
+	}
+	table, err := AblationClustering(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny pools (lockstep) get flagged; large pools evade.
+	lastRow := table.Rows[len(table.Rows)-1] // largest pool/quota
+	firstRow := table.Rows[0]                // smallest pool (scale 20000 → floor 25)
+	if cell(t, firstRow, 3) == 0 {
+		t.Fatalf("lockstep pool not flagged: %v", firstRow)
+	}
+	if cell(t, lastRow, 3) != 0 {
+		t.Fatalf("large pool flagged: %v", lastRow)
+	}
+}
+
+func TestAblationHoneypotEvasion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep: skipped with -short")
+	}
+	table, err := AblationHoneypotEvasion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	single, fleet := table.Rows[0], table.Rows[1]
+	// The single aggressive honeypot gets banned and its campaign stalls.
+	if cell(t, single, 2) != 1 {
+		t.Fatalf("single honeypot not banned: %v", single)
+	}
+	// The fleet stays under the threshold: nobody banned, full campaign.
+	if cell(t, fleet, 2) != 0 {
+		t.Fatalf("fleet banned: %v", fleet)
+	}
+	if cell(t, fleet, 1) != 75 {
+		t.Fatalf("fleet milked %v of 75", fleet[1])
+	}
+	if !(cell(t, fleet, 1) > cell(t, single, 1)) {
+		t.Fatalf("fleet did not out-milk single: %v vs %v", fleet, single)
+	}
+	if !(cell(t, fleet, 3) > cell(t, single, 3)) {
+		t.Fatalf("fleet did not identify more accounts: %v vs %v", fleet, single)
+	}
+}
+
+func TestAblationRejectedCountermeasures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep: skipped with -short")
+	}
+	table, err := AblationRejectedCountermeasures(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(s, "%f%%", &v); err != nil {
+			t.Fatalf("cell %q: %v", s, err)
+		}
+		return v
+	}
+	suspend, suspendSwitch, mandate, deployed := table.Rows[0], table.Rows[1], table.Rows[2], table.Rows[3]
+	// Naive suspension and mandated secrets fully stop collusion...
+	for _, row := range [][]string{suspend, mandate, deployed} {
+		if got := parse(row[1]); got != 100 {
+			t.Fatalf("%s blocked %v%% of collusion", row[0], got)
+		}
+	}
+	// ...but only the rejected ones break legitimate users.
+	if got := parse(suspend[2]); got != 100 {
+		t.Fatalf("suspension collateral = %v%%", got)
+	}
+	if got := parse(mandate[2]); got != 100 {
+		t.Fatalf("mandated-secret collateral = %v%%", got)
+	}
+	if got := parse(deployed[2]); got != 0 {
+		t.Fatalf("deployed countermeasure collateral = %v%%", got)
+	}
+	// And suspension does not even hold: after the operator switches to
+	// another susceptible app, most of the abuse reduction evaporates
+	// while the legitimate users of the suspended app stay locked out.
+	if got := parse(suspendSwitch[1]); got > 50 {
+		t.Fatalf("suspension still blocking %v%% after app switch", got)
+	}
+	if got := parse(suspendSwitch[2]); got != 100 {
+		t.Fatalf("post-switch legitimate collateral = %v%%", got)
+	}
+}
+
+func TestAblationIPvsAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep: skipped with -short")
+	}
+	table, err := AblationIPvsAS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// AS blocking always ceases delivery.
+	for _, row := range table.Rows {
+		if cell(t, row, 2) != 0 {
+			t.Fatalf("AS block leaked likes: %v", row)
+		}
+	}
+	// IP caps bind hard for small pools and fade as the pool grows.
+	small := cell(t, table.Rows[0], 1)
+	large := cell(t, table.Rows[len(table.Rows)-1], 1)
+	if small >= large {
+		t.Fatalf("no IP-cap crossover: small-pool %v >= large-pool %v", small, large)
+	}
+	if large < 200 {
+		t.Fatalf("large pool still bound by IP caps: %v", large)
+	}
+}

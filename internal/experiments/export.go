@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Export formats: alongside the aligned-text rendering, every Output can
+// be serialized as CSV (one block per table/series, for spreadsheet or
+// gnuplot consumption) or JSON (for downstream analysis pipelines).
+
+// CSV renders the table as RFC 4180 CSV with a header row.
+func (t Table) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write(append([]string{}, t.Columns...))
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return buf.String()
+}
+
+// CSV renders every series of the figure as x,y rows tagged by label.
+func (f Figure) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write([]string{"series", f.XLabel, f.YLabel})
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			_ = w.Write([]string{s.Label, trimFloat(p.X), trimFloat(p.Y)})
+		}
+	}
+	w.Flush()
+	return buf.String()
+}
+
+// trimFloat renders floats without trailing zero noise.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// CSVBlocks renders the whole output as CSV blocks separated by blank
+// lines, each preceded by a comment line naming the artifact.
+func (o Output) CSVBlocks() string {
+	var buf bytes.Buffer
+	for _, t := range o.Tables {
+		fmt.Fprintf(&buf, "# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+	}
+	for _, f := range o.Figures {
+		fmt.Fprintf(&buf, "# %s: %s\n%s\n", f.ID, f.Title, f.CSV())
+	}
+	return buf.String()
+}
+
+// jsonTable is the JSON shape of a Table.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// jsonSeries is the JSON shape of one figure series.
+type jsonSeries struct {
+	Label  string       `json:"label"`
+	Points [][2]float64 `json:"points"`
+}
+
+// jsonFigure is the JSON shape of a Figure.
+type jsonFigure struct {
+	ID          string            `json:"id"`
+	Title       string            `json:"title"`
+	XLabel      string            `json:"x_label"`
+	YLabel      string            `json:"y_label"`
+	Series      []jsonSeries      `json:"series"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+	Notes       []string          `json:"notes,omitempty"`
+}
+
+// JSON serializes the output with stable field ordering.
+func (o Output) JSON() (string, error) {
+	type envelope struct {
+		Tables  []jsonTable  `json:"tables,omitempty"`
+		Figures []jsonFigure `json:"figures,omitempty"`
+	}
+	var env envelope
+	for _, t := range o.Tables {
+		env.Tables = append(env.Tables, jsonTable{
+			ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	for _, f := range o.Figures {
+		jf := jsonFigure{ID: f.ID, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel, Notes: f.Notes}
+		for _, s := range f.Series {
+			js := jsonSeries{Label: s.Label}
+			for _, p := range s.Points {
+				js.Points = append(js.Points, [2]float64{p.X, p.Y})
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		if len(f.Annotations) > 0 {
+			jf.Annotations = make(map[string]string, len(f.Annotations))
+			keys := make([]float64, 0, len(f.Annotations))
+			for x := range f.Annotations {
+				keys = append(keys, x)
+			}
+			sort.Float64s(keys)
+			for _, x := range keys {
+				jf.Annotations[trimFloat(x)] = f.Annotations[x]
+			}
+		}
+		env.Figures = append(env.Figures, jf)
+	}
+	b, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// WriteFile renders the output in the given format and writes it to
+// dir/<id>.<ext>, returning the path. The directory is created if needed.
+func (o Output) WriteFile(dir, id, format string) (string, error) {
+	rendered, err := o.Render(format)
+	if err != nil {
+		return "", err
+	}
+	ext := map[string]string{"": "txt", "text": "txt", "csv": "csv", "json": "json"}[format]
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, id+"."+ext)
+	if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Render produces the output in the named format: "text" (default),
+// "csv", or "json".
+func (o Output) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return o.String(), nil
+	case "csv":
+		return o.CSVBlocks(), nil
+	case "json":
+		return o.JSON()
+	default:
+		return "", fmt.Errorf("experiments: unknown format %q (text, csv, json)", format)
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func sampleOutput() Output {
+	return Output{
+		Tables: []Table{{
+			ID:      "tablex",
+			Title:   "Sample",
+			Columns: []string{"Name", "Value"},
+			Rows:    [][]string{{"hublaa.me", "294,949"}, {"with,comma", "1"}},
+			Notes:   []string{"a note"},
+		}},
+		Figures: []Figure{{
+			ID:     "figx",
+			Title:  "Sample Figure",
+			XLabel: "day",
+			YLabel: "likes",
+			Series: []Series{{
+				Label:  "hublaa.me",
+				Points: []SeriesPoint{{1, 350}, {2, 347.5}},
+			}},
+			Annotations: map[float64]string{2: "event"},
+		}},
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	out := sampleOutput()
+	blocks := out.CSVBlocks()
+	if !strings.Contains(blocks, "# tablex: Sample") || !strings.Contains(blocks, "# figx: Sample Figure") {
+		t.Fatalf("blocks missing headers:\n%s", blocks)
+	}
+	// The table CSV round-trips through a CSV reader, including the
+	// comma-containing cell.
+	r := csv.NewReader(strings.NewReader(out.Tables[0].CSV()))
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[2][0] != "with,comma" {
+		t.Fatalf("comma cell = %q", records[2][0])
+	}
+	// The figure CSV has series,x,y rows.
+	fr := csv.NewReader(strings.NewReader(out.Figures[0].CSV()))
+	frecs, err := fr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frecs) != 3 || frecs[0][0] != "series" {
+		t.Fatalf("figure csv = %v", frecs)
+	}
+	if frecs[2][2] != "347.5" {
+		t.Fatalf("y cell = %q", frecs[2][2])
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	out := sampleOutput()
+	s, err := out.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Tables []struct {
+			ID   string     `json:"id"`
+			Rows [][]string `json:"rows"`
+		} `json:"tables"`
+		Figures []struct {
+			ID     string `json:"id"`
+			Series []struct {
+				Label  string       `json:"label"`
+				Points [][2]float64 `json:"points"`
+			} `json:"series"`
+			Annotations map[string]string `json:"annotations"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Tables) != 1 || decoded.Tables[0].ID != "tablex" {
+		t.Fatalf("tables = %+v", decoded.Tables)
+	}
+	fig := decoded.Figures[0]
+	if fig.Series[0].Points[1] != [2]float64{2, 347.5} {
+		t.Fatalf("points = %v", fig.Series[0].Points)
+	}
+	if fig.Annotations["2"] != "event" {
+		t.Fatalf("annotations = %v", fig.Annotations)
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	out := sampleOutput()
+	for _, format := range []string{"", "text", "csv", "json"} {
+		if _, err := out.Render(format); err != nil {
+			t.Fatalf("Render(%q): %v", format, err)
+		}
+	}
+	if _, err := out.Render("xml"); err == nil {
+		t.Fatal("unknown format rendered")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:     "1",
+		2.5:   "2.5",
+		350:   "350",
+		-7.25: "-7.25",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRealExperimentExports(t *testing.T) {
+	// A real experiment's output survives both exports.
+	out, err := Run("table5", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvOut, err := out.Render("csv")
+	if err != nil || !strings.Contains(csvOut, "Short Code") {
+		t.Fatalf("csv = %v, %v", len(csvOut), err)
+	}
+	jsonOut, err := out.Render("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(jsonOut)) {
+		t.Fatal("json output invalid")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	out := sampleOutput()
+	for format, wantExt := range map[string]string{"text": ".txt", "csv": ".csv", "json": ".json"} {
+		path, err := out.WriteFile(dir, "sample", format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.HasSuffix(path, wantExt) {
+			t.Fatalf("path = %q, want suffix %q", path, wantExt)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s: empty file", format)
+		}
+	}
+	if _, err := out.WriteFile(dir, "sample", "xml"); err == nil {
+		t.Fatal("unknown format written")
+	}
+}

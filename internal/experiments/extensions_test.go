@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtensionPrivacy(t *testing.T) {
+	res, err := ExtensionPrivacy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Harvest
+	if h.TokensTried == 0 || h.ProfilesRead != h.TokensLive {
+		t.Fatalf("harvest = %+v", h)
+	}
+	// The attack must reach beyond the membership: friends of members
+	// who never touched the network.
+	if h.FriendsEnumerated == 0 {
+		t.Fatal("no bystanders exposed")
+	}
+	if h.Reachable <= h.ProfilesRead {
+		t.Fatalf("reachable %d not beyond members %d", h.Reachable, h.ProfilesRead)
+	}
+	p := res.Propagation
+	if p.TotalInfected <= p.InfectedPerStep[0] {
+		t.Fatal("malware did not propagate beyond seeds")
+	}
+	if p.TotalInfected > p.Population {
+		t.Fatalf("infected %d > population %d", p.TotalInfected, p.Population)
+	}
+	if len(res.Table.Rows) < 8 {
+		t.Fatalf("table rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestExtensionDetection(t *testing.T) {
+	res, err := ExtensionDetection(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.AUC < 0.95 || m.F1 < 0.9 {
+		t.Fatalf("detector weak: %+v", m)
+	}
+	// The contrast the extension exists to show: the ML detector catches
+	// what SynchroTrap cannot see at these pool sizes.
+	if res.Clustered > m.TP {
+		t.Fatalf("clustering (%d) outperformed the detector (%d TP)?", res.Clustered, m.TP)
+	}
+	// The PCA volume baseline sits near random in the mixed-activity
+	// regime, far below the structural features.
+	if res.PCABaselineAUC >= m.AUC {
+		t.Fatalf("PCA baseline AUC %.3f >= logistic %.3f", res.PCABaselineAUC, m.AUC)
+	}
+	if res.PCABaselineAUC > 0.8 {
+		t.Fatalf("PCA baseline unexpectedly strong: %.3f", res.PCABaselineAUC)
+	}
+	// Remediation removed the flagged accounts' likes.
+	if m.TP > 0 && res.Purge.LikesRemoved == 0 {
+		t.Fatalf("purge removed nothing despite %d true positives", m.TP)
+	}
+}
+
+func TestExtensionEconomics(t *testing.T) {
+	res, err := ExtensionEconomics(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 22 {
+		t.Fatalf("estimates = %d", len(res.Estimates))
+	}
+	var mg, fast *int
+	for i, e := range res.Estimates {
+		if e.MonthlyTotalUSD <= 0 {
+			t.Fatalf("%s revenue = %v", e.Network, e.MonthlyTotalUSD)
+		}
+		if e.Network == "mg-likers.com" {
+			mg = &i
+		}
+		if e.Network == "fast-liker.com" {
+			fast = &i
+		}
+	}
+	if mg == nil || fast == nil {
+		t.Fatal("networks missing from estimates")
+	}
+	// The traffic-measured big network out-earns the smallest by orders
+	// of magnitude.
+	if res.Estimates[*mg].MonthlyTotalUSD < 100*res.Estimates[*fast].MonthlyTotalUSD {
+		t.Fatalf("revenue spread implausible: mg=%v fast=%v",
+			res.Estimates[*mg].MonthlyTotalUSD, res.Estimates[*fast].MonthlyTotalUSD)
+	}
+	// Live validation: model matches measured ad revenue exactly (same
+	// impression count, same RPM).
+	if math.Abs(res.ModelAdUSD-res.MeasuredAdUSD) > 1e-9 {
+		t.Fatalf("model %v vs measured %v", res.ModelAdUSD, res.MeasuredAdUSD)
+	}
+}

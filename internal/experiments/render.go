@@ -1,0 +1,177 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation, each reconstructing the corresponding result from a
+// live end-to-end run of the simulated ecosystem. Drivers return
+// structured Tables (for the paper's tables) or Series (for its figures)
+// that render to aligned text, and cmd/repro prints them.
+//
+// Every driver takes an explicit Config with a Seed, so outputs are
+// deterministic and reproducible bit-for-bit.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result in tabular form.
+type Table struct {
+	ID      string // e.g. "table4"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries methodology caveats (scaling, substitutions).
+	Notes []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// SeriesPoint is one x/y pair of a figure series.
+type SeriesPoint struct {
+	X float64
+	Y float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []SeriesPoint
+}
+
+// Figure is a rendered experiment result in figure form: one or more
+// series over a shared x-axis.
+type Figure struct {
+	ID     string // e.g. "figure5"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Annotations mark events on the x-axis (the Figure 5 countermeasure
+	// deployments).
+	Annotations map[float64]string
+	Notes       []string
+}
+
+// String renders the figure as a data listing plus a coarse ASCII plot
+// per series.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&b, "x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "series %q (%d points):\n", s.Label, len(s.Points))
+		b.WriteString(sparkline(s.Points))
+		// Long series are downsampled for the listing, but every
+		// annotated x (a countermeasure event) is always printed.
+		const maxListed = 40
+		stride := 1
+		if len(s.Points) > maxListed {
+			stride = (len(s.Points) + maxListed - 1) / maxListed
+		}
+		for i, p := range s.Points {
+			ann := ""
+			if f.Annotations != nil {
+				if a, ok := f.Annotations[p.X]; ok {
+					ann = "   <- " + a
+				}
+			}
+			if i%stride != 0 && ann == "" && i != len(s.Points)-1 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %10.2f  %12.2f%s\n", p.X, p.Y, ann)
+		}
+		if stride > 1 {
+			fmt.Fprintf(&b, "  (listing downsampled 1/%d; all %d points retained in the data)\n", stride, len(s.Points))
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// sparkline renders a one-line unicode sketch of the series shape.
+func sparkline(points []SeriesPoint) string {
+	if len(points) == 0 {
+		return "  (empty)\n"
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	min, max := points[0].Y, points[0].Y
+	for _, p := range points {
+		if p.Y < min {
+			min = p.Y
+		}
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	var b strings.Builder
+	b.WriteString("  ")
+	for _, p := range points {
+		idx := 0
+		if max > min {
+			idx = int((p.Y - min) / (max - min) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// fmtInt renders an integer with thousands separators, as the paper's
+// tables do.
+func fmtInt(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}
+
+// fmtFloat renders a float with the given precision.
+func fmtFloat(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}

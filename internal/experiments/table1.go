@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/scanner"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+	"repro/internal/workload"
+)
+
+// Table1Result carries both the rendered table and the scan summary for
+// assertions.
+type Table1Result struct {
+	Table   Table
+	Summary scanner.Summary
+	Rows    []scanner.Result
+}
+
+// Table1 reproduces Table 1: run the application scanner over the
+// synthetic top-100 leaderboard (over real HTTP) and report the
+// susceptible applications issued long-term tokens.
+func Table1(seed int64) (Table1Result, error) {
+	clock := simclock.NewSimulated(time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC))
+	p := platform.New(clock, nil)
+	top := workload.BuildTop100(p.Apps, seed)
+
+	srv := p.ServeHTTPTest()
+	defer srv.Close()
+
+	testAcct := p.Graph.CreateAccount("scanner-test", "US", clock.Now())
+	testPost, err := p.Graph.CreatePost(testAcct.ID, "scanner test post", socialgraph.WriteMeta{At: clock.Now()})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	sc := scanner.New(srv.URL, testAcct.ID, testPost.ID)
+
+	entries := make([]scanner.AppDirectoryEntry, len(top))
+	for i, app := range top {
+		entries[i] = scanner.AppDirectoryEntry{
+			App:      app,
+			LoginURL: scanner.LoginURL(srv.URL, app.ID, app.RedirectURI, app.Permissions),
+		}
+	}
+	results := sc.ScanAll(entries)
+	summary := scanner.Summarize(results)
+	longTerm := scanner.LongTermSusceptible(results)
+
+	table := Table{
+		ID:      "table1",
+		Title:   "Susceptible applications with long-term access tokens among the top 100",
+		Columns: []string{"Application Identifier", "Application Name", "Monthly Active Users (MAU)"},
+		Notes: []string{
+			fmtInt(summary.Scanned) + " apps scanned, " + fmtInt(summary.Susceptible) + " susceptible (" +
+				fmtInt(summary.SusceptibleShortTerm) + " short-term, " + fmtInt(summary.SusceptibleLongTerm) + " long-term)",
+		},
+	}
+	for _, r := range longTerm {
+		table.Rows = append(table.Rows, []string{r.AppID, r.Name, fmtInt(r.MAU)})
+	}
+	return Table1Result{Table: table, Summary: summary, Rows: longTerm}, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Table2Row is one network's traffic-model outcome.
+type Table2Row struct {
+	Network         string
+	ModeledRank     int
+	TopCountry      string
+	TopCountryShare float64 // percent
+	// Milked marks the 22 networks of the honeypot campaign.
+	Milked bool
+}
+
+// Table2Result carries the rendered table and the raw rows.
+type Table2Result struct {
+	Table Table
+	Rows  []Table2Row
+}
+
+// alexaCalibration anchors the rank model: hublaa.me's 294,949 members
+// map to its reported Alexa rank of ~8K, and ranks scale inversely with
+// modeled daily visitors.
+const alexaCalibration = 8_000.0 * 294_949.0
+
+// Table2 reproduces Table 2: the paper's full top-50 collusion network
+// roster ordered by modeled traffic rank, with each site's top visitor
+// country and its share. Instead of Alexa (defunct), ranks for the 22
+// milked networks come from an inverse-traffic model calibrated on
+// hublaa.me (country shares are measured by sampling each network's
+// member geography); the 28 ranked-but-unmilked sites carry their
+// published ranks and country mixes directly.
+func Table2(seed int64) Table2Result {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []Table2Row
+	for _, spec := range workload.Networks() {
+		// Model daily visitors as proportional to membership; sample the
+		// member population's geography to measure the top country share.
+		visitors := float64(spec.Membership)
+		rank := int(alexaCalibration / visitors)
+
+		mix := workload.CountryMixFor(spec)
+		counts := make(map[string]int)
+		const samples = 4000
+		for i := 0; i < samples; i++ {
+			counts[mix.Sample(rng)]++
+		}
+		top, topN := "", 0
+		for c, n := range counts {
+			if n > topN {
+				top, topN = c, n
+			}
+		}
+		rows = append(rows, Table2Row{
+			Network:         spec.Name,
+			ModeledRank:     rank,
+			TopCountry:      top,
+			TopCountryShare: 100 * float64(topN) / samples,
+			Milked:          true,
+		})
+	}
+	for _, site := range workload.RankedOnlySites() {
+		rows = append(rows, Table2Row{
+			Network:         site.Name,
+			ModeledRank:     site.AlexaRank,
+			TopCountry:      site.TopCountry,
+			TopCountryShare: 100 * site.TopCountryShare,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ModeledRank < rows[j].ModeledRank })
+
+	table := Table{
+		ID:      "table2",
+		Title:   "Collusion networks in ascending order of modeled traffic rank (full top-50 roster)",
+		Columns: []string{"Collusion Network", "Rank", "Top Country", "Top Country Visitors", "Milked"},
+		Notes: []string{
+			"Alexa is defunct; milked networks' ranks derive from an inverse-traffic model calibrated on hublaa.me (rank 8K)",
+			"milked networks' country shares measured by sampling member geography; unmilked sites carry published values",
+		},
+	}
+	for _, r := range rows {
+		milked := ""
+		if r.Milked {
+			milked = "yes"
+		}
+		table.Rows = append(table.Rows, []string{
+			r.Network,
+			fmtInt(r.ModeledRank),
+			r.TopCountry,
+			fmtFloat(r.TopCountryShare, 0) + "%",
+			milked,
+		})
+	}
+	return Table2Result{Table: table, Rows: rows}
+}

@@ -1,0 +1,97 @@
+package graphapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/oauthsim"
+)
+
+func TestFriendsRequiresScope(t *testing.T) {
+	f := newFixture(t)
+	friend := f.graph.CreateAccount("friend", "EG", t0)
+	if err := f.graph.AddFriendship(f.user.ID, friend.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Register an app approved for user_friends.
+	app := f.reg.Register(apps.Config{
+		Name:              "Friend Reader",
+		RedirectURI:       "https://fr.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermUserFriends},
+	})
+	res, err := f.oauth.Authorize(oauthsim.AuthorizeRequest{
+		AppID:        app.ID,
+		RedirectURI:  app.RedirectURI,
+		ResponseType: oauthsim.ResponseToken,
+		Scopes:       []string{apps.PermUserFriends},
+		AccountID:    f.user.ID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	friends, err := f.api.Friends(CallContext{AccessToken: res.AccessToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(friends) != 1 || friends[0].ID != friend.ID || friends[0].Country != "EG" {
+		t.Fatalf("friends = %+v", friends)
+	}
+
+	// A token without the scope is refused.
+	noScope := f.token(t, apps.PermPublishActions)
+	if _, err := f.api.Friends(CallContext{AccessToken: noScope}); ErrCode(err) != CodePermission {
+		t.Fatalf("scopeless friends err = %v (code %d)", err, ErrCode(err))
+	}
+}
+
+func TestHTTPFriendsEdge(t *testing.T) {
+	f := newFixture(t)
+	friend := f.graph.CreateAccount("friend", "TR", t0)
+	if err := f.graph.AddFriendship(f.user.ID, friend.ID); err != nil {
+		t.Fatal(err)
+	}
+	app := f.reg.Register(apps.Config{
+		Name:              "Friend Reader",
+		RedirectURI:       "https://fr.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermUserFriends},
+	})
+	res, err := f.oauth.Authorize(oauthsim.AuthorizeRequest{
+		AppID:        app.ID,
+		RedirectURI:  app.RedirectURI,
+		ResponseType: oauthsim.ResponseToken,
+		Scopes:       []string{apps.PermUserFriends},
+		AccountID:    f.user.ID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(f.api))
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/me/friends?access_token=" + res.AccessToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Data []struct {
+			ID      string `json:"id"`
+			Country string `json:"country"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Data) != 1 || body.Data[0].ID != friend.ID || body.Data[0].Country != "TR" {
+		t.Fatalf("friends over HTTP = %+v", body)
+	}
+}

@@ -1,0 +1,30 @@
+package graphapi
+
+import (
+	"testing"
+)
+
+func FuzzDecodeCursor(f *testing.F) {
+	f.Add("")
+	f.Add(encodeCursor(0))
+	f.Add(encodeCursor(25))
+	f.Add(encodeCursor(1 << 30))
+	f.Add("###")
+	f.Add("MTIzNDU=")
+	f.Add("LTU=") // base64("-5")
+	f.Fuzz(func(t *testing.T, s string) {
+		off, err := decodeCursor(s)
+		if err != nil {
+			return
+		}
+		if off < 0 {
+			t.Fatalf("decoded negative offset %d from %q", off, s)
+		}
+		// Round trip: re-encoding a decoded cursor must decode to the
+		// same offset.
+		again, err := decodeCursor(encodeCursor(off))
+		if err != nil || again != off {
+			t.Fatalf("round trip %d → %d, %v", off, again, err)
+		}
+	})
+}

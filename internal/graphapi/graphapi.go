@@ -1,0 +1,430 @@
+// Package graphapi implements the platform's Graph API: the HTTP surface
+// through which third-party applications act on behalf of users, and the
+// request path every countermeasure of Section 6 hooks into.
+//
+// Each write request carries the full attribution tuple the paper's
+// defenses key on — access token, account, application, source IP, and
+// autonomous system — and is evaluated against an ordered chain of Policy
+// values before it reaches the social graph. The package exposes both a
+// net/http server (used by examples, the scanner, and integration tests)
+// and a direct in-process API with identical semantics (used by the
+// large-scale experiments).
+package graphapi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/netsim"
+	"repro/internal/oauthsim"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+// Verb labels the operation a request performs.
+type Verb string
+
+// Request verbs.
+const (
+	VerbLike    Verb = "like"
+	VerbComment Verb = "comment"
+	VerbPost    Verb = "post"
+	VerbRead    Verb = "read"
+)
+
+// Request is the normalized form of one Graph API call, as seen by the
+// policy chain.
+type Request struct {
+	Verb     Verb
+	ObjectID string
+	Message  string // comment/post body
+	Token    oauthsim.TokenInfo
+	App      apps.App
+	SourceIP string
+	ASN      netsim.ASN // 0 when the source IP maps to no registered AS
+	At       time.Time
+}
+
+// Decision is a policy verdict.
+type Decision struct {
+	Allow  bool
+	Policy string // name of the policy that denied (empty on allow)
+	Reason string
+}
+
+// Allowed is the unanimous-allow decision.
+func Allowed() Decision { return Decision{Allow: true} }
+
+// Denied constructs a denial attributed to a policy.
+func Denied(policy, reason string) Decision {
+	return Decision{Allow: false, Policy: policy, Reason: reason}
+}
+
+// Policy inspects a request and may deny it. Policies must be safe for
+// concurrent use. Evaluate is called for write verbs only.
+type Policy interface {
+	Name() string
+	Evaluate(Request) Decision
+}
+
+// Chain is an ordered, hot-swappable set of policies. The paper deployed
+// countermeasures incrementally over the Figure 5 timeline; Chain.Append
+// models exactly that.
+type Chain struct {
+	mu       sync.RWMutex
+	policies []Policy
+	denials  map[string]int64
+}
+
+// NewChain returns an empty chain (allows everything).
+func NewChain() *Chain {
+	return &Chain{denials: make(map[string]int64)}
+}
+
+// Append adds a policy at the end of the chain.
+func (c *Chain) Append(p Policy) {
+	c.mu.Lock()
+	c.policies = append(c.policies, p)
+	c.mu.Unlock()
+}
+
+// Remove drops the first policy with the given name; it reports whether
+// one was removed.
+func (c *Chain) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range c.policies {
+		if p.Name() == name {
+			c.policies = append(c.policies[:i:i], c.policies[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate runs the request through every policy in order, stopping at the
+// first denial.
+func (c *Chain) Evaluate(req Request) Decision {
+	c.mu.RLock()
+	policies := c.policies
+	c.mu.RUnlock()
+	for _, p := range policies {
+		if d := p.Evaluate(req); !d.Allow {
+			c.mu.Lock()
+			c.denials[d.Policy]++
+			c.mu.Unlock()
+			return d
+		}
+	}
+	return Allowed()
+}
+
+// Denials returns a copy of the per-policy denial counters.
+func (c *Chain) Denials() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.denials))
+	for k, v := range c.denials {
+		out[k] = v
+	}
+	return out
+}
+
+// Names lists the active policies in evaluation order.
+func (c *Chain) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.policies))
+	for i, p := range c.policies {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// Error codes returned by the API, mirroring the Graph API's numeric error
+// space closely enough for clients to dispatch on.
+const (
+	CodeInvalidToken     = 190 // OAuthException: token missing/expired/invalidated
+	CodeSecretProof      = 104 // appsecret_proof failure
+	CodePermission       = 200 // missing permission scope
+	CodeRateLimited      = 613 // application/token request limit reached
+	CodeBlocked          = 368 // policy block (temporarily blocked for abuse)
+	CodeNotFound         = 803 // unknown object
+	CodeDuplicate        = 520 // duplicate action (already liked)
+	CodeInvalidParam     = 100 // invalid parameter
+	CodeAppSuspended     = 191 // application disabled
+	CodeAccountSuspended = 459 // account checkpointed/suspended
+)
+
+// APIError is the structured error returned by Graph API operations.
+type APIError struct {
+	Code    int
+	Type    string
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("graphapi: (#%d) %s: %s", e.Code, e.Type, e.Message)
+}
+
+// ErrCode extracts the API error code from err, or 0.
+func ErrCode(err error) int {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return 0
+}
+
+func apiErr(code int, typ, format string, args ...any) error {
+	return &APIError{Code: code, Type: typ, Message: fmt.Sprintf(format, args...)}
+}
+
+// API is the in-process Graph API. All transports (HTTP and direct calls)
+// funnel into its methods, so policies and attribution behave identically.
+type API struct {
+	clock    simclock.Clock
+	graph    *socialgraph.Store
+	oauth    *oauthsim.Server
+	registry *apps.Registry
+	internet *netsim.Internet
+	chain    *Chain
+}
+
+// New wires an API over its substrates. internet may be nil, in which case
+// ASN resolution is skipped.
+func New(clock simclock.Clock, graph *socialgraph.Store, oauth *oauthsim.Server, registry *apps.Registry, internet *netsim.Internet, chain *Chain) *API {
+	if chain == nil {
+		chain = NewChain()
+	}
+	return &API{
+		clock:    clock,
+		graph:    graph,
+		oauth:    oauth,
+		registry: registry,
+		internet: internet,
+		chain:    chain,
+	}
+}
+
+// Chain returns the policy chain, for countermeasure deployment.
+func (a *API) Chain() *Chain { return a.chain }
+
+// Graph returns the underlying social graph store.
+func (a *API) Graph() *socialgraph.Store { return a.graph }
+
+// OAuth returns the underlying authorization server.
+func (a *API) OAuth() *oauthsim.Server { return a.oauth }
+
+// Registry returns the application registry.
+func (a *API) Registry() *apps.Registry { return a.registry }
+
+// CallContext carries per-call transport attributes.
+type CallContext struct {
+	AccessToken    string
+	AppSecretProof string
+	SourceIP       string
+}
+
+// authenticate validates the bearer token and security settings, and
+// builds the policy request skeleton.
+func (a *API) authenticate(ctx CallContext, verb Verb, needScope string) (Request, error) {
+	info, err := a.oauth.Validate(ctx.AccessToken)
+	if err != nil {
+		return Request{}, apiErr(CodeInvalidToken, "OAuthException", "%v", err)
+	}
+	app, err := a.registry.Get(info.AppID)
+	if err != nil {
+		return Request{}, apiErr(CodeInvalidToken, "OAuthException", "application not found")
+	}
+	if app.Suspended {
+		return Request{}, apiErr(CodeAppSuspended, "OAuthException", "application %s is disabled", app.ID)
+	}
+	if err := a.oauth.VerifySecretProof(info, ctx.AppSecretProof); err != nil {
+		return Request{}, apiErr(CodeSecretProof, "GraphMethodException", "%v", err)
+	}
+	if needScope != "" && !info.HasScope(needScope) {
+		return Request{}, apiErr(CodePermission, "OAuthException", "requires %s permission", needScope)
+	}
+	req := Request{
+		Verb:     verb,
+		Token:    info,
+		App:      app,
+		SourceIP: ctx.SourceIP,
+		At:       a.clock.Now(),
+	}
+	if a.internet != nil && ctx.SourceIP != "" {
+		if as, ok := a.internet.LookupASString(ctx.SourceIP); ok {
+			req.ASN = as.Number
+		}
+	}
+	return req, nil
+}
+
+// Me returns the public profile of the token's account.
+func (a *API) Me(ctx CallContext) (socialgraph.Account, error) {
+	req, err := a.authenticate(ctx, VerbRead, "")
+	if err != nil {
+		return socialgraph.Account{}, err
+	}
+	acct, err := a.graph.Account(req.Token.AccountID)
+	if err != nil {
+		return socialgraph.Account{}, apiErr(CodeNotFound, "GraphMethodException", "account missing")
+	}
+	return acct, nil
+}
+
+// Like publishes a like on objectID on behalf of the token's account.
+func (a *API) Like(ctx CallContext, objectID string) error {
+	req, err := a.authenticate(ctx, VerbLike, apps.PermPublishActions)
+	if err != nil {
+		return err
+	}
+	req.ObjectID = objectID
+	if d := a.chain.Evaluate(req); !d.Allow {
+		return a.denialError(d)
+	}
+	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: ctx.SourceIP, At: req.At}
+	switch err := a.graph.AddLike(req.Token.AccountID, objectID, meta); {
+	case err == nil:
+		return nil
+	case errors.Is(err, socialgraph.ErrAlreadyLiked):
+		return apiErr(CodeDuplicate, "GraphMethodException", "duplicate like")
+	case errors.Is(err, socialgraph.ErrSuspended):
+		return apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
+	case errors.Is(err, socialgraph.ErrInvalidReference), errors.Is(err, socialgraph.ErrNotFound):
+		return apiErr(CodeNotFound, "GraphMethodException", "unknown object %s", objectID)
+	default:
+		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+	}
+}
+
+// Unlike removes the token account's like from an object — the write
+// Facebook exposes as DELETE /{object}/likes. It is policy-checked like
+// any other write.
+func (a *API) Unlike(ctx CallContext, objectID string) error {
+	req, err := a.authenticate(ctx, VerbLike, apps.PermPublishActions)
+	if err != nil {
+		return err
+	}
+	req.ObjectID = objectID
+	if d := a.chain.Evaluate(req); !d.Allow {
+		return a.denialError(d)
+	}
+	switch err := a.graph.RemoveLike(req.Token.AccountID, objectID); {
+	case err == nil:
+		return nil
+	case errors.Is(err, socialgraph.ErrNotLiked):
+		return apiErr(CodeNotFound, "GraphMethodException", "no like to remove")
+	default:
+		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+	}
+}
+
+// Comment publishes a comment on a post on behalf of the token's account.
+func (a *API) Comment(ctx CallContext, postID, message string) (socialgraph.Comment, error) {
+	req, err := a.authenticate(ctx, VerbComment, apps.PermPublishActions)
+	if err != nil {
+		return socialgraph.Comment{}, err
+	}
+	req.ObjectID = postID
+	req.Message = message
+	if d := a.chain.Evaluate(req); !d.Allow {
+		return socialgraph.Comment{}, a.denialError(d)
+	}
+	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: ctx.SourceIP, At: req.At}
+	c, err := a.graph.AddComment(req.Token.AccountID, postID, message, meta)
+	switch {
+	case err == nil:
+		return c, nil
+	case errors.Is(err, socialgraph.ErrSuspended):
+		return socialgraph.Comment{}, apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
+	case errors.Is(err, socialgraph.ErrNotFound):
+		return socialgraph.Comment{}, apiErr(CodeNotFound, "GraphMethodException", "unknown post %s", postID)
+	case errors.Is(err, socialgraph.ErrEmptyMessage):
+		return socialgraph.Comment{}, apiErr(CodeInvalidParam, "GraphMethodException", "empty message")
+	default:
+		return socialgraph.Comment{}, apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+	}
+}
+
+// Publish creates a status update on the token account's timeline.
+func (a *API) Publish(ctx CallContext, message string) (socialgraph.Post, error) {
+	req, err := a.authenticate(ctx, VerbPost, apps.PermPublishActions)
+	if err != nil {
+		return socialgraph.Post{}, err
+	}
+	req.Message = message
+	if d := a.chain.Evaluate(req); !d.Allow {
+		return socialgraph.Post{}, a.denialError(d)
+	}
+	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: ctx.SourceIP, At: req.At}
+	p, err := a.graph.CreatePost(req.Token.AccountID, message, meta)
+	switch {
+	case err == nil:
+		return p, nil
+	case errors.Is(err, socialgraph.ErrSuspended):
+		return socialgraph.Post{}, apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
+	case errors.Is(err, socialgraph.ErrEmptyMessage):
+		return socialgraph.Post{}, apiErr(CodeInvalidParam, "GraphMethodException", "empty message")
+	default:
+		return socialgraph.Post{}, apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+	}
+}
+
+// Feed lists the token account's own posts in creation order — the read
+// that premium auto-delivery services poll to discover fresh posts to
+// like without the member logging in (Sec. 5.1).
+func (a *API) Feed(ctx CallContext) ([]socialgraph.Post, error) {
+	req, err := a.authenticate(ctx, VerbRead, "")
+	if err != nil {
+		return nil, err
+	}
+	return a.graph.PostsByAuthor(req.Token.AccountID), nil
+}
+
+// Friends lists the token account's friends. It requires the
+// user_friends permission — the scope whose leakage turns token abuse
+// into social-graph harvesting (Sec. 8).
+func (a *API) Friends(ctx CallContext) ([]socialgraph.Account, error) {
+	req, err := a.authenticate(ctx, VerbRead, apps.PermUserFriends)
+	if err != nil {
+		return nil, err
+	}
+	ids := a.graph.Friends(req.Token.AccountID)
+	out := make([]socialgraph.Account, 0, len(ids))
+	for _, id := range ids {
+		if acct, err := a.graph.Account(id); err == nil {
+			out = append(out, acct)
+		}
+	}
+	return out, nil
+}
+
+// Likes lists the likes on an object (a public read).
+func (a *API) Likes(ctx CallContext, objectID string) ([]socialgraph.Like, error) {
+	if _, err := a.authenticate(ctx, VerbRead, ""); err != nil {
+		return nil, err
+	}
+	return a.graph.Likes(objectID), nil
+}
+
+// Comments lists the comments on a post (a public read).
+func (a *API) Comments(ctx CallContext, postID string) ([]socialgraph.Comment, error) {
+	if _, err := a.authenticate(ctx, VerbRead, ""); err != nil {
+		return nil, err
+	}
+	return a.graph.Comments(postID), nil
+}
+
+func (a *API) denialError(d Decision) error {
+	code := CodeBlocked
+	if d.Policy == "token-rate-limit" || d.Policy == "ip-rate-limit" {
+		code = CodeRateLimited
+	}
+	return apiErr(code, "PolicyException", "denied by %s: %s", d.Policy, d.Reason)
+}

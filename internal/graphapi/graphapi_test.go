@@ -1,0 +1,370 @@
+package graphapi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/netsim"
+	"repro/internal/oauthsim"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+var t0 = time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	clock *simclock.Simulated
+	graph *socialgraph.Store
+	oauth *oauthsim.Server
+	reg   *apps.Registry
+	net   *netsim.Internet
+	api   *API
+	app   apps.App
+	user  socialgraph.Account
+	post  socialgraph.Post
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{
+		clock: simclock.NewSimulated(t0),
+		graph: socialgraph.New(),
+		reg:   apps.NewRegistry(),
+		net:   netsim.NewInternet(),
+	}
+	if err := f.net.RegisterAS(netsim.AS{Number: 64500, Name: "BulletproofHost", Bulletproof: true}, "203.0.113.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	f.oauth = oauthsim.NewServer(f.clock, f.reg, f.graph)
+	f.api = New(f.clock, f.graph, f.oauth, f.reg, f.net, NewChain())
+	f.app = f.reg.Register(apps.Config{
+		Name:              "HTC Sense",
+		RedirectURI:       "https://htc.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	f.user = f.graph.CreateAccount("member", "IN", t0)
+	author := f.graph.CreateAccount("author", "IN", t0)
+	var err error
+	f.post, err = f.graph.CreatePost(author.ID, "look at my post", socialgraph.WriteMeta{At: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *fixture) token(t *testing.T, scopes ...string) string {
+	t.Helper()
+	if scopes == nil {
+		scopes = []string{apps.PermPublishActions}
+	}
+	res, err := f.oauth.Authorize(oauthsim.AuthorizeRequest{
+		AppID:        f.app.ID,
+		RedirectURI:  f.app.RedirectURI,
+		ResponseType: oauthsim.ResponseToken,
+		Scopes:       scopes,
+		AccountID:    f.user.ID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.AccessToken
+}
+
+func TestLikeHappyPath(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t)
+	ctx := CallContext{AccessToken: tok, SourceIP: "203.0.113.7"}
+	if err := f.api.Like(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+	likes := f.graph.Likes(f.post.ID)
+	if len(likes) != 1 {
+		t.Fatalf("likes = %d", len(likes))
+	}
+	l := likes[0]
+	if l.AccountID != f.user.ID || l.AppID != f.app.ID || l.SourceIP != "203.0.113.7" {
+		t.Fatalf("like attribution = %+v", l)
+	}
+}
+
+func TestLikeDuplicate(t *testing.T) {
+	f := newFixture(t)
+	ctx := CallContext{AccessToken: f.token(t)}
+	if err := f.api.Like(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+	err := f.api.Like(ctx, f.post.ID)
+	if ErrCode(err) != CodeDuplicate {
+		t.Fatalf("duplicate like err = %v (code %d)", err, ErrCode(err))
+	}
+}
+
+func TestLikeRequiresPublishActions(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t, apps.PermPublicProfile)
+	err := f.api.Like(CallContext{AccessToken: tok}, f.post.ID)
+	if ErrCode(err) != CodePermission {
+		t.Fatalf("err = %v (code %d), want permission error", err, ErrCode(err))
+	}
+}
+
+func TestInvalidTokenRejected(t *testing.T) {
+	f := newFixture(t)
+	err := f.api.Like(CallContext{AccessToken: "bogus"}, f.post.ID)
+	if ErrCode(err) != CodeInvalidToken {
+		t.Fatalf("err = %v (code %d)", err, ErrCode(err))
+	}
+	tok := f.token(t)
+	f.oauth.Invalidate(tok, "honeypot")
+	err = f.api.Like(CallContext{AccessToken: tok}, f.post.ID)
+	if ErrCode(err) != CodeInvalidToken {
+		t.Fatalf("invalidated token err = %v (code %d)", err, ErrCode(err))
+	}
+}
+
+func TestExpiredTokenRejected(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t)
+	f.clock.Advance(61 * 24 * time.Hour)
+	err := f.api.Like(CallContext{AccessToken: tok}, f.post.ID)
+	if ErrCode(err) != CodeInvalidToken {
+		t.Fatalf("expired token err = %v (code %d)", err, ErrCode(err))
+	}
+}
+
+func TestSecretProofEnforcement(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t)
+	if err := f.reg.SetSecuritySettings(f.app.ID, true, true); err != nil {
+		t.Fatal(err)
+	}
+	err := f.api.Like(CallContext{AccessToken: tok}, f.post.ID)
+	if ErrCode(err) != CodeSecretProof {
+		t.Fatalf("missing proof err = %v (code %d)", err, ErrCode(err))
+	}
+	proof := oauthsim.SecretProof(f.app.Secret, tok)
+	if err := f.api.Like(CallContext{AccessToken: tok, AppSecretProof: proof}, f.post.ID); err != nil {
+		t.Fatalf("valid proof err = %v", err)
+	}
+}
+
+func TestSuspendedAppRejected(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t)
+	_ = f.reg.SetSuspended(f.app.ID, true)
+	err := f.api.Like(CallContext{AccessToken: tok}, f.post.ID)
+	if ErrCode(err) != CodeAppSuspended {
+		t.Fatalf("err = %v (code %d)", err, ErrCode(err))
+	}
+}
+
+func TestCommentAndPublish(t *testing.T) {
+	f := newFixture(t)
+	ctx := CallContext{AccessToken: f.token(t)}
+	c, err := f.api.Comment(ctx, f.post.ID, "AW E S O M E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Message != "AW E S O M E" {
+		t.Fatalf("comment = %+v", c)
+	}
+	if _, err := f.api.Comment(ctx, "bogus", "x"); ErrCode(err) != CodeNotFound {
+		t.Fatalf("comment on missing post code = %d", ErrCode(err))
+	}
+	if _, err := f.api.Comment(ctx, f.post.ID, ""); ErrCode(err) != CodeInvalidParam {
+		t.Fatalf("empty comment code = %d", ErrCode(err))
+	}
+	p, err := f.api.Publish(ctx, "my status update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AuthorID != f.user.ID {
+		t.Fatalf("post author = %q", p.AuthorID)
+	}
+}
+
+func TestMeAndReads(t *testing.T) {
+	f := newFixture(t)
+	ctx := CallContext{AccessToken: f.token(t)}
+	acct, err := f.api.Me(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.ID != f.user.ID {
+		t.Fatalf("Me = %+v", acct)
+	}
+	if err := f.api.Like(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+	likes, err := f.api.Likes(ctx, f.post.ID)
+	if err != nil || len(likes) != 1 {
+		t.Fatalf("Likes = %v, %v", likes, err)
+	}
+	if _, err := f.api.Likes(CallContext{AccessToken: "bogus"}, f.post.ID); ErrCode(err) != CodeInvalidToken {
+		t.Fatalf("read with bad token code = %d", ErrCode(err))
+	}
+}
+
+// denyPolicy denies requests matching a predicate.
+type denyPolicy struct {
+	name string
+	deny func(Request) bool
+}
+
+func (p denyPolicy) Name() string { return p.name }
+func (p denyPolicy) Evaluate(r Request) Decision {
+	if p.deny(r) {
+		return Denied(p.name, "test denial")
+	}
+	return Allowed()
+}
+
+func TestPolicyChainDeniesWrites(t *testing.T) {
+	f := newFixture(t)
+	ctx := CallContext{AccessToken: f.token(t)}
+	f.api.Chain().Append(denyPolicy{name: "token-rate-limit", deny: func(r Request) bool { return r.Verb == VerbLike }})
+	err := f.api.Like(ctx, f.post.ID)
+	if ErrCode(err) != CodeRateLimited {
+		t.Fatalf("denied like code = %d, want %d", ErrCode(err), CodeRateLimited)
+	}
+	// Comments are unaffected by the like-only policy.
+	if _, err := f.api.Comment(ctx, f.post.ID, "still works"); err != nil {
+		t.Fatal(err)
+	}
+	den := f.api.Chain().Denials()
+	if den["token-rate-limit"] != 1 {
+		t.Fatalf("denials = %v", den)
+	}
+	if got := f.graph.LikeCount(f.post.ID); got != 0 {
+		t.Fatalf("denied like reached the store: %d", got)
+	}
+}
+
+func TestPolicyChainOrderAndRemove(t *testing.T) {
+	c := NewChain()
+	c.Append(denyPolicy{name: "first", deny: func(Request) bool { return true }})
+	c.Append(denyPolicy{name: "second", deny: func(Request) bool { return true }})
+	d := c.Evaluate(Request{})
+	if d.Policy != "first" {
+		t.Fatalf("first denier = %q", d.Policy)
+	}
+	if !c.Remove("first") {
+		t.Fatal("Remove(first) = false")
+	}
+	if c.Remove("first") {
+		t.Fatal("second Remove(first) = true")
+	}
+	d = c.Evaluate(Request{})
+	if d.Policy != "second" {
+		t.Fatalf("after removal denier = %q", d.Policy)
+	}
+	names := c.Names()
+	if len(names) != 1 || names[0] != "second" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRequestCarriesASN(t *testing.T) {
+	f := newFixture(t)
+	var captured Request
+	f.api.Chain().Append(denyPolicy{name: "capture", deny: func(r Request) bool {
+		captured = r
+		return false
+	}})
+	ctx := CallContext{AccessToken: f.token(t), SourceIP: "203.0.113.50"}
+	if err := f.api.Like(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+	if captured.ASN != 64500 {
+		t.Fatalf("captured ASN = %d, want 64500", captured.ASN)
+	}
+	if captured.SourceIP != "203.0.113.50" || !captured.At.Equal(t0) {
+		t.Fatalf("captured = %+v", captured)
+	}
+}
+
+func TestSuspendedAccountSurfacesAPIError(t *testing.T) {
+	f := newFixture(t)
+	tok := f.token(t)
+	_ = f.graph.SetSuspended(f.user.ID, true)
+	err := f.api.Like(CallContext{AccessToken: tok}, f.post.ID)
+	if ErrCode(err) != CodeAccountSuspended {
+		t.Fatalf("suspended account code = %d", ErrCode(err))
+	}
+	if _, err := f.api.Publish(CallContext{AccessToken: tok}, "hi"); ErrCode(err) != CodeAccountSuspended {
+		t.Fatalf("suspended publish code = %d", ErrCode(err))
+	}
+}
+
+func TestAPIErrorFormatting(t *testing.T) {
+	err := apiErr(CodeRateLimited, "PolicyException", "limit %d", 10)
+	want := "graphapi: (#613) PolicyException: limit 10"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+	if ErrCode(errors.New("plain")) != 0 {
+		t.Fatal("ErrCode(plain) != 0")
+	}
+}
+
+func TestManyAccountsLikeViaAPI(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 50; i++ {
+		u := f.graph.CreateAccount(fmt.Sprintf("m%d", i), "IN", t0)
+		res, err := f.oauth.Authorize(oauthsim.AuthorizeRequest{
+			AppID:        f.app.ID,
+			RedirectURI:  f.app.RedirectURI,
+			ResponseType: oauthsim.ResponseToken,
+			Scopes:       []string{apps.PermPublishActions},
+			AccountID:    u.ID,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.api.Like(CallContext{AccessToken: res.AccessToken}, f.post.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.graph.LikeCount(f.post.ID); got != 50 {
+		t.Fatalf("LikeCount = %d, want 50", got)
+	}
+}
+
+func TestUnlike(t *testing.T) {
+	f := newFixture(t)
+	ctx := CallContext{AccessToken: f.token(t)}
+	if err := f.api.Like(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.api.Unlike(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.graph.LikeCount(f.post.ID); got != 0 {
+		t.Fatalf("LikeCount after unlike = %d", got)
+	}
+	// Unliking again: nothing to remove.
+	if err := f.api.Unlike(ctx, f.post.ID); ErrCode(err) != CodeNotFound {
+		t.Fatalf("double unlike code = %d", ErrCode(err))
+	}
+	// The account can like again afterwards.
+	if err := f.api.Like(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlikePolicyChecked(t *testing.T) {
+	f := newFixture(t)
+	ctx := CallContext{AccessToken: f.token(t)}
+	if err := f.api.Like(ctx, f.post.ID); err != nil {
+		t.Fatal(err)
+	}
+	f.api.Chain().Append(denyPolicy{name: "blocker", deny: func(r Request) bool { return r.Verb == VerbLike }})
+	if err := f.api.Unlike(ctx, f.post.ID); ErrCode(err) != CodeBlocked {
+		t.Fatalf("policy-denied unlike code = %d", ErrCode(err))
+	}
+}

@@ -1,0 +1,582 @@
+package graphapi
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/oauthsim"
+	"repro/internal/socialgraph"
+)
+
+// Edge pagination, Facebook-style: list responses carry at most `limit`
+// entries (default 25, max 100) plus a paging envelope with an opaque
+// `after` cursor when more data exists.
+const (
+	defaultPageLimit = 25
+	maxPageLimit     = 100
+)
+
+// encodeCursor wraps an offset as an opaque cursor string.
+func encodeCursor(offset int) string {
+	return base64.URLEncoding.EncodeToString([]byte(strconv.Itoa(offset)))
+}
+
+// decodeCursor unwraps a cursor; empty cursors mean offset 0.
+func decodeCursor(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	raw, err := base64.URLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(string(raw))
+	if err != nil || n < 0 {
+		return 0, errors.New("bad cursor")
+	}
+	return n, nil
+}
+
+// pageParams extracts limit and offset from a request.
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	limit = defaultPageLimit
+	if s := r.FormValue("limit"); s != "" {
+		n, perr := strconv.Atoi(s)
+		if perr != nil || n <= 0 {
+			return 0, 0, errors.New("bad limit")
+		}
+		if n > maxPageLimit {
+			n = maxPageLimit
+		}
+		limit = n
+	}
+	offset, err = decodeCursor(r.FormValue("after"))
+	return limit, offset, err
+}
+
+// pageSliceLikes applies offset/limit windowing to a likes list.
+func pageSliceLikes(likes []socialgraph.Like, offset, limit int) []socialgraph.Like {
+	if offset >= len(likes) {
+		return nil
+	}
+	end := offset + limit
+	if end > len(likes) {
+		end = len(likes)
+	}
+	return likes[offset:end]
+}
+
+// pageSliceComments applies offset/limit windowing to a comments list.
+func pageSliceComments(comments []socialgraph.Comment, offset, limit int) []socialgraph.Comment {
+	if offset >= len(comments) {
+		return nil
+	}
+	end := offset + limit
+	if end > len(comments) {
+		end = len(comments)
+	}
+	return comments[offset:end]
+}
+
+// pagingEnvelope builds the "paging" object when more rows remain.
+func pagingEnvelope(offset, served, total int) map[string]any {
+	next := offset + served
+	if next >= total {
+		return nil
+	}
+	return map[string]any{
+		"cursors": map[string]any{"after": encodeCursor(next)},
+	}
+}
+
+// Handler exposes the API and the OAuth endpoints over HTTP with
+// Facebook-style routes:
+//
+//	GET  /dialog/oauth          authorization dialog (browser session is
+//	                            simulated with the account_id parameter)
+//	POST /oauth/access_token    code-for-token exchange (server-side flow)
+//	GET  /me                    profile of the token's account
+//	GET  /{object}/likes        list likes
+//	POST /{object}/likes        publish a like
+//	GET  /{object}/comments     list comments
+//	POST /{object}/comments     publish a comment
+//	POST /me/feed               publish a status update
+//
+// Errors are returned as Facebook-style JSON envelopes:
+//
+//	{"error": {"message": ..., "type": ..., "code": ...}}
+func Handler(api *API) http.Handler {
+	mux := http.NewServeMux()
+	h := &httpAPI{api: api}
+	mux.HandleFunc("/dialog/oauth", h.dialog)
+	mux.HandleFunc("/oauth/access_token", h.exchange)
+	mux.HandleFunc("/me", h.me)
+	mux.HandleFunc("/me/feed", h.feed)
+	mux.HandleFunc("/me/friends", h.friends)
+	mux.HandleFunc("/debug_token", h.debugToken)
+	mux.HandleFunc("/batch", h.batch)
+	mux.HandleFunc("/", h.object)
+	return mux
+}
+
+type httpAPI struct {
+	api *API
+}
+
+// errorEnvelope is the JSON error body.
+type errorEnvelope struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+		Code    int    `json:"code"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		ae = &APIError{Code: CodeInvalidParam, Type: "GraphMethodException", Message: err.Error()}
+	}
+	var env errorEnvelope
+	env.Error.Message = ae.Message
+	env.Error.Type = ae.Type
+	env.Error.Code = ae.Code
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus(ae.Code))
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+func httpStatus(code int) int {
+	switch code {
+	case CodeInvalidToken, CodeAppSuspended, CodeAccountSuspended:
+		return http.StatusUnauthorized
+	case CodeSecretProof, CodePermission, CodeBlocked:
+		return http.StatusForbidden
+	case CodeRateLimited:
+		return http.StatusTooManyRequests
+	case CodeNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// callContext extracts token, proof, and source IP from the request. The
+// simulated source IP is carried in X-Forwarded-For (collusion network
+// delivery engines route through their IP pools); it falls back to the TCP
+// peer address.
+func callContext(r *http.Request) CallContext {
+	ctx := CallContext{
+		AccessToken:    r.FormValue("access_token"),
+		AppSecretProof: r.FormValue("appsecret_proof"),
+	}
+	if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+		ctx.SourceIP = strings.TrimSpace(strings.Split(fwd, ",")[0])
+	} else if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		ctx.SourceIP = host
+	} else {
+		ctx.SourceIP = r.RemoteAddr
+	}
+	return ctx
+}
+
+// dialog implements the authorization dialog. A real browser session is
+// out of scope, so the logged-in user is identified by the account_id
+// parameter. On success the handler 302-redirects to the app's redirect
+// URI with the token in the fragment (implicit) or the code in the query
+// (server-side) — exactly the artifact collusion networks teach their
+// members to copy.
+func (h *httpAPI) dialog(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := oauthsim.AuthorizeRequest{
+		AppID:        q.Get("client_id"),
+		RedirectURI:  q.Get("redirect_uri"),
+		ResponseType: oauthsim.ResponseType(q.Get("response_type")),
+		AccountID:    q.Get("account_id"),
+		State:        q.Get("state"),
+	}
+	if scope := q.Get("scope"); scope != "" {
+		req.Scopes = strings.Split(scope, ",")
+	}
+	res, err := h.api.OAuth().Authorize(req)
+	if err != nil {
+		writeError(w, apiErr(CodeInvalidParam, "OAuthException", "%v", err))
+		return
+	}
+	loc, err := url.Parse(req.RedirectURI)
+	if err != nil {
+		writeError(w, apiErr(CodeInvalidParam, "OAuthException", "bad redirect URI"))
+		return
+	}
+	if res.AccessToken != "" {
+		frag := url.Values{}
+		frag.Set("access_token", res.AccessToken)
+		frag.Set("expires_in", strconv.FormatInt(res.ExpiresIn, 10))
+		if res.State != "" {
+			frag.Set("state", res.State)
+		}
+		loc.Fragment = frag.Encode()
+	} else {
+		qs := loc.Query()
+		qs.Set("code", res.Code)
+		if res.State != "" {
+			qs.Set("state", res.State)
+		}
+		loc.RawQuery = qs.Encode()
+	}
+	http.Redirect(w, r, loc.String(), http.StatusFound)
+}
+
+// exchange implements the server-side token endpoint: the authorization-
+// code swap, and grant_type=fb_exchange_token for extending a token to
+// long-lived.
+func (h *httpAPI) exchange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodGet {
+		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "unsupported method"))
+		return
+	}
+	var info oauthsim.TokenInfo
+	var err error
+	if r.FormValue("grant_type") == "fb_exchange_token" {
+		info, err = h.api.OAuth().ExchangeForLongLived(
+			r.FormValue("client_id"),
+			r.FormValue("client_secret"),
+			r.FormValue("fb_exchange_token"),
+		)
+	} else {
+		info, err = h.api.OAuth().ExchangeCode(
+			r.FormValue("client_id"),
+			r.FormValue("client_secret"),
+			r.FormValue("redirect_uri"),
+			r.FormValue("code"),
+		)
+	}
+	if err != nil {
+		writeError(w, apiErr(CodeInvalidToken, "OAuthException", "%v", err))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"access_token": info.Token,
+		"token_type":   "bearer",
+		"expires_in":   int64(info.ExpiresAt.Sub(info.IssuedAt).Seconds()),
+	})
+}
+
+func (h *httpAPI) me(w http.ResponseWriter, r *http.Request) {
+	acct, err := h.api.Me(callContext(r))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"id":      acct.ID,
+		"name":    acct.Name,
+		"country": acct.Country,
+	})
+}
+
+func (h *httpAPI) friends(w http.ResponseWriter, r *http.Request) {
+	friends, err := h.api.Friends(callContext(r))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data := make([]map[string]any, 0, len(friends))
+	for _, f := range friends {
+		data = append(data, map[string]any{
+			"id":      f.ID,
+			"name":    f.Name,
+			"country": f.Country,
+		})
+	}
+	writeJSON(w, map[string]any{"data": data})
+}
+
+func (h *httpAPI) feed(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		post, err := h.api.Publish(callContext(r), r.FormValue("message"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"id": post.ID})
+	case http.MethodGet:
+		posts, err := h.api.Feed(callContext(r))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		data := make([]map[string]any, 0, len(posts))
+		for _, p := range posts {
+			data = append(data, map[string]any{
+				"id":      p.ID,
+				"message": p.Message,
+				"time":    p.CreatedAt.UTC().Format("2006-01-02T15:04:05Z"),
+			})
+		}
+		writeJSON(w, map[string]any{"data": data})
+	default:
+		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "GET or POST required"))
+	}
+}
+
+// debugToken implements Facebook's token-introspection endpoint: an app
+// server authenticates with its app ID and secret and inspects any token
+// issued to that app (GET /debug_token?input_token=&client_id=&client_secret=).
+// The response mirrors the real endpoint's envelope: app_id, user_id,
+// expiry, scopes, and is_valid.
+func (h *httpAPI) debugToken(w http.ResponseWriter, r *http.Request) {
+	appID := r.FormValue("client_id")
+	secret := r.FormValue("client_secret")
+	input := r.FormValue("input_token")
+	app, err := h.api.Registry().Get(appID)
+	if err != nil {
+		writeError(w, apiErr(CodeInvalidToken, "OAuthException", "unknown application"))
+		return
+	}
+	if secret != app.Secret {
+		writeError(w, apiErr(CodeSecretProof, "OAuthException", "application secret mismatch"))
+		return
+	}
+	data := map[string]any{"is_valid": false}
+	if info, verr := h.api.OAuth().Validate(input); verr == nil {
+		if info.AppID != appID {
+			// Apps may only introspect their own tokens.
+			writeError(w, apiErr(CodePermission, "OAuthException", "token belongs to another application"))
+			return
+		}
+		data = map[string]any{
+			"is_valid":   true,
+			"app_id":     info.AppID,
+			"user_id":    info.AccountID,
+			"scopes":     info.Scopes,
+			"issued_at":  info.IssuedAt.Unix(),
+			"expires_at": info.ExpiresAt.Unix(),
+		}
+	}
+	writeJSON(w, map[string]any{"data": data})
+}
+
+// batchOp is one operation in a Graph API batch request.
+type batchOp struct {
+	Method      string `json:"method"`
+	RelativeURL string `json:"relative_url"`
+	Body        string `json:"body"`
+}
+
+// batchResult is one operation's outcome.
+type batchResult struct {
+	Code int    `json:"code"`
+	Body string `json:"body"`
+}
+
+// maxBatchOps mirrors the Graph API's 50-operation batch cap.
+const maxBatchOps = 50
+
+// batch implements POST /batch: a JSON array of operations executed
+// sequentially, each producing an embedded status code and body. The
+// access_token of the outer request is the default for operations that
+// do not carry their own.
+func (h *httpAPI) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "POST required"))
+		return
+	}
+	var ops []batchOp
+	if err := json.Unmarshal([]byte(r.FormValue("batch")), &ops); err != nil {
+		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "bad batch JSON: %v", err))
+		return
+	}
+	if len(ops) == 0 || len(ops) > maxBatchOps {
+		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "batch size must be 1..%d", maxBatchOps))
+		return
+	}
+	defaultToken := r.FormValue("access_token")
+	fwd := r.Header.Get("X-Forwarded-For")
+
+	results := make([]batchResult, len(ops))
+	for i, op := range ops {
+		results[i] = h.runBatchOp(op, defaultToken, fwd)
+	}
+	writeJSON(w, results)
+}
+
+// runBatchOp executes one batched operation by replaying it through the
+// full handler stack, so policies, attribution, and error envelopes are
+// identical to standalone requests.
+func (h *httpAPI) runBatchOp(op batchOp, defaultToken, fwd string) batchResult {
+	target := "/" + strings.TrimLeft(op.RelativeURL, "/")
+	body := op.Body
+	if defaultToken != "" && !strings.Contains(body, "access_token=") && !strings.Contains(target, "access_token=") {
+		if body == "" {
+			body = "access_token=" + url.QueryEscape(defaultToken)
+		} else {
+			body += "&access_token=" + url.QueryEscape(defaultToken)
+		}
+	}
+	method := strings.ToUpper(op.Method)
+	if method == "" {
+		method = http.MethodGet
+	}
+	var req *http.Request
+	var err error
+	if method == http.MethodGet {
+		if body != "" {
+			sep := "?"
+			if strings.Contains(target, "?") {
+				sep = "&"
+			}
+			target += sep + body
+		}
+		req, err = http.NewRequest(method, target, nil)
+	} else {
+		req, err = http.NewRequest(method, target, strings.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	}
+	if err != nil {
+		return batchResult{Code: http.StatusBadRequest, Body: `{"error":{"message":"bad batch operation"}}`}
+	}
+	if fwd != "" {
+		req.Header.Set("X-Forwarded-For", fwd)
+	}
+	rec := newRecorder()
+	// Route through a fresh mux equivalent: reuse the object/me handlers
+	// by dispatching on the same paths Handler registers.
+	h.dispatch(rec, req)
+	return batchResult{Code: rec.status, Body: strings.TrimSpace(rec.body.String())}
+}
+
+// dispatch routes a synthetic request to the right handler method.
+func (h *httpAPI) dispatch(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/me":
+		h.me(w, r)
+	case r.URL.Path == "/me/feed":
+		h.feed(w, r)
+	case r.URL.Path == "/me/friends":
+		h.friends(w, r)
+	case r.URL.Path == "/debug_token":
+		h.debugToken(w, r)
+	default:
+		h.object(w, r)
+	}
+}
+
+// recorder is a minimal in-process ResponseWriter.
+type recorder struct {
+	status int
+	header http.Header
+	body   *strings.Builder
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: http.StatusOK, header: make(http.Header), body: &strings.Builder{}}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(code int) {
+	r.status = code
+}
+func (r *recorder) Write(b []byte) (int, error) {
+	return r.body.Write(b)
+}
+
+// object dispatches /{id}/likes and /{id}/comments.
+func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) != 2 {
+		writeError(w, apiErr(CodeNotFound, "GraphMethodException", "unknown path %q", r.URL.Path))
+		return
+	}
+	objectID, edge := parts[0], parts[1]
+	ctx := callContext(r)
+	switch {
+	case edge == "likes" && r.Method == http.MethodPost:
+		if err := h.api.Like(ctx, objectID); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"success": true})
+	case edge == "likes" && r.Method == http.MethodDelete:
+		if err := h.api.Unlike(ctx, objectID); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"success": true})
+	case edge == "likes" && r.Method == http.MethodGet:
+		likes, err := h.api.Likes(ctx, objectID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		limit, offset, perr := pageParams(r)
+		if perr != nil {
+			writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "%v", perr))
+			return
+		}
+		total := len(likes)
+		likes = pageSliceLikes(likes, offset, limit)
+		data := make([]map[string]any, 0, len(likes))
+		for _, l := range likes {
+			data = append(data, map[string]any{
+				"id":   l.AccountID,
+				"time": l.At.UTC().Format("2006-01-02T15:04:05Z"),
+			})
+		}
+		body := map[string]any{"data": data}
+		if paging := pagingEnvelope(offset, len(likes), total); paging != nil {
+			body["paging"] = paging
+		}
+		writeJSON(w, body)
+	case edge == "comments" && r.Method == http.MethodPost:
+		c, err := h.api.Comment(ctx, objectID, r.FormValue("message"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"id": c.ID})
+	case edge == "comments" && r.Method == http.MethodGet:
+		comments, err := h.api.Comments(ctx, objectID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		limit, offset, perr := pageParams(r)
+		if perr != nil {
+			writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "%v", perr))
+			return
+		}
+		total := len(comments)
+		comments = pageSliceComments(comments, offset, limit)
+		data := make([]map[string]any, 0, len(comments))
+		for _, c := range comments {
+			data = append(data, map[string]any{
+				"id":      c.ID,
+				"from":    c.AccountID,
+				"message": c.Message,
+				"time":    c.At.UTC().Format("2006-01-02T15:04:05Z"),
+			})
+		}
+		body := map[string]any{"data": data}
+		if paging := pagingEnvelope(offset, len(comments), total); paging != nil {
+			body["paging"] = paging
+		}
+		writeJSON(w, body)
+	default:
+		writeError(w, apiErr(CodeNotFound, "GraphMethodException", "unknown edge %q", edge))
+	}
+}

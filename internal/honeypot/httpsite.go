@@ -1,0 +1,111 @@
+package honeypot
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTPSite drives a collusion network's website over HTTP, the way the
+// paper's Selenium automation drove the real sites. It implements Site.
+type HTTPSite struct {
+	name string
+	base string
+	http *http.Client
+}
+
+// NewHTTPSite returns a Site speaking HTTP to the collusion network at
+// baseURL.
+func NewHTTPSite(name, baseURL string) *HTTPSite {
+	return &HTTPSite{
+		name: name,
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Name implements Site.
+func (s *HTTPSite) Name() string { return s.name }
+
+type siteResponse struct {
+	OK        bool    `json:"ok"`
+	Error     string  `json:"error"`
+	Delivered float64 `json:"delivered"`
+	Challenge string  `json:"challenge"`
+}
+
+func (s *HTTPSite) post(path string, form url.Values) (siteResponse, error) {
+	resp, err := s.http.PostForm(s.base+path, form)
+	if err != nil {
+		return siteResponse{}, err
+	}
+	defer resp.Body.Close()
+	var body siteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return siteResponse{}, fmt.Errorf("honeypot: decoding %s response: %w", path, err)
+	}
+	if !body.OK {
+		return body, fmt.Errorf("honeypot: %s: %s", s.name, body.Error)
+	}
+	return body, nil
+}
+
+// SubmitToken implements Site.
+func (s *HTTPSite) SubmitToken(accountID, token string) error {
+	_, err := s.post("/submit-token", url.Values{
+		"account_id":   {accountID},
+		"access_token": {token},
+	})
+	return err
+}
+
+// Challenge implements Site.
+func (s *HTTPSite) Challenge(accountID string) string {
+	resp, err := s.http.Get(s.base + "/captcha?account_id=" + url.QueryEscape(accountID))
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var body siteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return ""
+	}
+	return body.Challenge
+}
+
+// RequestLikes implements Site.
+func (s *HTTPSite) RequestLikes(accountID, postID, captchaAnswer string) (int, error) {
+	body, err := s.post("/request-likes", url.Values{
+		"account_id": {accountID},
+		"post_id":    {postID},
+		"captcha":    {captchaAnswer},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(body.Delivered), nil
+}
+
+// CompleteAdWall implements Site by walking the site's /adwall endpoint.
+func (s *HTTPSite) CompleteAdWall(accountID string) error {
+	_, err := s.post("/adwall", url.Values{"account_id": {accountID}})
+	return err
+}
+
+// RequestComments implements Site.
+func (s *HTTPSite) RequestComments(accountID, postID, captchaAnswer string) (int, error) {
+	body, err := s.post("/request-comments", url.Values{
+		"account_id": {accountID},
+		"post_id":    {postID},
+		"captcha":    {captchaAnswer},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(body.Delivered), nil
+}
+
+var _ Site = (*HTTPSite)(nil)

@@ -1,0 +1,153 @@
+package ids
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinterNextUnique(t *testing.T) {
+	m := NewMinter()
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := m.Next(KindAccount)
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMinterKindsDisjoint(t *testing.T) {
+	m := NewMinter()
+	kinds := []Kind{KindAccount, KindPost, KindComment, KindApp, KindPage}
+	seen := make(map[string]Kind)
+	for _, k := range kinds {
+		for i := 0; i < 100; i++ {
+			id := m.Next(k)
+			if prev, ok := seen[id]; ok {
+				t.Fatalf("ID %q minted for both %v and %v", id, prev, k)
+			}
+			seen[id] = k
+		}
+	}
+}
+
+func TestKindOfRoundTrip(t *testing.T) {
+	m := NewMinter()
+	for _, k := range []Kind{KindAccount, KindPost, KindComment, KindApp, KindPage} {
+		id := m.Next(k)
+		got, ok := KindOf(id)
+		if !ok {
+			t.Fatalf("KindOf(%q) not ok", id)
+		}
+		if got != k {
+			t.Fatalf("KindOf(%q) = %v, want %v", id, got, k)
+		}
+	}
+}
+
+func TestKindOfRejectsGarbage(t *testing.T) {
+	for _, id := range []string{"", "abc", "-5", "999", "99999999999999999999999999"} {
+		if _, ok := KindOf(id); ok {
+			t.Fatalf("KindOf(%q) unexpectedly ok", id)
+		}
+	}
+}
+
+func TestMinterConcurrent(t *testing.T) {
+	m := NewMinter()
+	const goroutines, per = 8, 500
+	ids := make([][]string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids[g] = append(ids[g], m.Next(KindPost))
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[string]bool)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate ID %q under concurrency", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestMinterInvalidKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next(0) did not panic")
+		}
+	}()
+	NewMinter().Next(0)
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindAccount: "account",
+		KindPost:    "post",
+		KindComment: "comment",
+		KindApp:     "app",
+		KindPage:    "page",
+		Kind(99):    "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNewTokenUniqueAndOpaque(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		tok := NewToken()
+		if !strings.HasPrefix(tok, "EAAB") {
+			t.Fatalf("token %q missing EAAB prefix", tok)
+		}
+		if len(tok) < 20 {
+			t.Fatalf("token %q suspiciously short", tok)
+		}
+		if seen[tok] {
+			t.Fatalf("duplicate token %q", tok)
+		}
+		seen[tok] = true
+	}
+}
+
+func TestNewSecretUnique(t *testing.T) {
+	a, b := NewSecret(), NewSecret()
+	if a == b {
+		t.Fatalf("two secrets equal: %q", a)
+	}
+	if len(a) != 32 {
+		t.Fatalf("secret length = %d, want 32 hex chars", len(a))
+	}
+}
+
+// Property: every minted ID survives a KindOf round trip regardless of how
+// many IDs were minted before it.
+func TestQuickMintRoundTrip(t *testing.T) {
+	m := NewMinter()
+	f := func(kindSel uint8, burst uint8) bool {
+		k := Kind(int(kindSel)%5 + 1)
+		for i := 0; i < int(burst)%16; i++ {
+			m.Next(k)
+		}
+		id := m.Next(k)
+		got, ok := KindOf(id)
+		return ok && got == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package lexical
+
+// dictionary is the embedded English word list used for the Table 6
+// non-dictionary-word analysis (the paper used the NLTK word corpus).
+// It covers the high-frequency function and content words that occur in
+// social media comments; anything outside it — leetspeak ("gr8"),
+// elongations ("bravooooo"), transliterations — counts as non-dictionary.
+var dictionary = makeSet(
+	// articles, pronouns, function words
+	"a", "an", "the", "i", "you", "he", "she", "it", "we", "they", "me",
+	"him", "her", "us", "them", "my", "your", "his", "its", "our", "their",
+	"mine", "yours", "this", "that", "these", "those", "who", "whom",
+	"whose", "which", "what", "where", "when", "why", "how", "all", "any",
+	"both", "each", "few", "more", "most", "other", "some", "such", "no",
+	"nor", "not", "only", "own", "same", "so", "than", "too", "very", "just",
+	"and", "but", "or", "if", "because", "as", "until", "while", "of", "at",
+	"by", "for", "with", "about", "against", "between", "into", "through",
+	"during", "before", "after", "above", "below", "to", "from", "up",
+	"down", "in", "out", "on", "off", "over", "under", "again", "further",
+	"then", "once", "here", "there", "also", "yet", "still", "even", "ever",
+	"never", "always", "often", "soon", "now", "today", "tomorrow",
+	"yesterday", "please", "thanks", "thank", "welcome", "hello", "hi",
+	"hey", "bye", "goodbye", "yes", "yeah", "okay", "ok", "oh", "wow",
+	// verbs
+	"am", "is", "are", "was", "were", "be", "been", "being", "have", "has",
+	"had", "having", "do", "does", "did", "doing", "will", "would", "shall",
+	"should", "can", "could", "may", "might", "must", "go", "goes", "going",
+	"went", "gone", "come", "comes", "coming", "came", "get", "gets",
+	"getting", "got", "make", "makes", "making", "made", "see", "sees",
+	"seeing", "saw", "seen", "look", "looks", "looking", "looked", "like",
+	"likes", "liked", "liking", "love", "loves", "loved", "loving", "want",
+	"wants", "wanted", "need", "needs", "needed", "know", "knows", "knew",
+	"known", "think", "thinks", "thought", "say", "says", "said", "tell",
+	"tells", "told", "give", "gives", "gave", "given", "take", "takes",
+	"took", "taken", "keep", "keeps", "kept", "let", "lets", "put", "puts",
+	"share", "shares", "shared", "post", "posts", "posted", "posting",
+	"comment", "comments", "commented", "follow", "follows", "followed",
+	"following", "add", "adds", "added", "check", "checks", "checked",
+	"visit", "visits", "visited", "click", "clicks", "clicked", "send",
+	"sends", "sent", "win", "wins", "won", "play", "plays", "played",
+	"work", "works", "worked", "working", "live", "lives", "lived", "feel",
+	"feels", "felt", "enjoy", "enjoys", "enjoyed", "smile", "smiles",
+	"smiled", "shine", "shines", "shined", "bless", "blessed", "miss",
+	"missed", "wish", "wishes", "wished", "hope", "hopes", "hoped", "stay",
+	"stays", "stayed", "rock", "rocks", "rocked", "slay", "kill", "killed",
+	"die", "died", "dying", "laugh", "laughed", "cry", "cried",
+	// nouns
+	"man", "woman", "men", "women", "boy", "girl", "guy", "guys", "friend",
+	"friends", "brother", "sister", "bro", "sis", "mate", "buddy", "people",
+	"person", "family", "life", "world", "day", "days", "night", "nights",
+	"morning", "evening", "week", "month", "year", "years", "time", "times",
+	"photo", "photos", "picture", "pictures", "pic", "pics", "image",
+	"images", "video", "videos", "status", "profile", "page", "pages",
+	"account", "wall", "timeline", "feed", "story", "stories", "news",
+	"update", "updates", "moment", "moments", "memory", "memories", "face",
+	"eyes", "smile", "heart", "hearts", "soul", "mind", "star", "stars",
+	"king", "queen", "prince", "princess", "hero", "legend", "champion",
+	"winner", "master", "boss", "chief", "sir", "madam", "dear", "darling",
+	"sweetheart", "angel", "beauty", "style", "swag", "look", "dress",
+	"place", "home", "house", "city", "country", "school", "college",
+	"work", "job", "money", "gift", "prize", "luck", "god", "blessing",
+	"blessings", "prayer", "prayers", "peace", "joy", "happiness", "fun",
+	"party", "music", "song", "songs", "dance", "game", "games", "match",
+	"team", "cricket", "football", "movie", "movies", "film", "show",
+	"thing", "things", "stuff", "way", "ways", "word", "words", "line",
+	"lines", "number", "numbers", "top", "best", "rest", "lot", "lots",
+	"bit", "side", "end", "start", "part", "whole", "piece",
+	// adjectives
+	"good", "great", "nice", "fine", "well", "better", "awesome",
+	"amazing", "wonderful", "beautiful", "gorgeous", "stunning", "pretty",
+	"lovely", "cute", "sweet", "handsome", "smart", "cool", "super",
+	"superb", "fantastic", "fabulous", "excellent", "perfect", "brilliant",
+	"outstanding", "incredible", "unbelievable", "magical", "marvelous",
+	"splendid", "charming", "adorable", "elegant", "classy", "stylish",
+	"dashing", "killer", "epic", "legendary", "royal", "golden", "shiny",
+	"bright", "fresh", "young", "old", "new", "big", "small", "little",
+	"long", "short", "high", "low", "hot", "cold", "warm", "happy", "sad",
+	"glad", "proud", "lucky", "blessed", "true", "real", "right", "wrong",
+	"sure", "free", "full", "empty", "rich", "poor", "strong", "weak",
+	"hard", "soft", "easy", "simple", "first", "last", "next", "every",
+	"one", "two", "three", "many", "much", "dude",
+	"magnificent", "breathtaking", "spectacular", "extraordinary",
+	"phenomenal", "mesmerizing", "absolutely", "completely", "seriously",
+	"simply", "truly", "really", "totally", "photograph", "expression",
+	"personality",
+	// social media vocabulary
+	"lol", "omg", "haha", "hahaha", "xoxo", "dp", "dpz", "selfie",
+	"selfies", "insta", "fb", "facebook", "whatsapp", "tag", "tags",
+	"tagged", "inbox", "msg", "message", "messages", "reply", "replies",
+	"request", "requests", "online", "offline", "emoji", "sticker",
+)
+
+func makeSet(words ...string) map[string]struct{} {
+	m := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		m[w] = struct{}{}
+	}
+	return m
+}

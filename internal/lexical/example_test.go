@@ -1,0 +1,27 @@
+package lexical_test
+
+import (
+	"fmt"
+
+	"repro/internal/lexical"
+)
+
+// A collusion-network style corpus: many comments, few distinct strings,
+// junk vocabulary.
+func ExampleAnalyze() {
+	corpus := []string{
+		"awesome picture", "awesome picture", "gr8 bro",
+		"awesome picture", "gr8 bro", "w00wwwwwwww",
+	}
+	r := lexical.Analyze(corpus)
+	fmt.Printf("comments=%d unique=%d richness=%.1f%% non-dictionary=%.1f%%\n",
+		r.Comments, r.UniqueComments, r.LexicalRichness, r.PctNonDictionary)
+	// Output:
+	// comments=6 unique=3 richness=45.5% non-dictionary=27.3%
+}
+
+func ExampleTokenize() {
+	fmt.Println(lexical.Tokenize("What a GORGEOUS pic!!"))
+	// Output:
+	// [what a gorgeous pic]
+}

@@ -1,0 +1,59 @@
+package lexical
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "nice pic", "?? AW E S O M E ???", "gr8 w00wwwwwwww",
+		"SARYE THAK KE BETH GYE", "bravo" + strings.Repeat("o", 50),
+		"日本語のコメント", "a.b.c...d!!e?f", "\x00\x01\x02", "%s%d%v",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := Tokenize(s)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lower-cased", tok)
+			}
+			for _, r := range tok {
+				if r == ' ' || r == '\n' || r == '\t' {
+					t.Fatalf("token %q contains whitespace", tok)
+				}
+			}
+		}
+	})
+}
+
+func FuzzAnalyze(f *testing.F) {
+	f.Add("nice pic", "gr8", "")
+	f.Add("...", "!!!", "???")
+	f.Add("one. two. three.", "четыре", "五六七")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		if !utf8.ValidString(a) || !utf8.ValidString(b) || !utf8.ValidString(c) {
+			t.Skip()
+		}
+		r := Analyze([]string{a, b, c})
+		if r.Comments != 3 {
+			t.Fatalf("comments = %d", r.Comments)
+		}
+		if r.UniqueComments < 1 || r.UniqueComments > 3 {
+			t.Fatalf("unique comments = %d", r.UniqueComments)
+		}
+		if r.UniqueWords > r.Words {
+			t.Fatal("unique words above total")
+		}
+		for _, pct := range []float64{r.PctUniqueComments, r.LexicalRichness, r.PctNonDictionary} {
+			if pct < 0 || pct > 100 {
+				t.Fatalf("percentage out of range: %v", pct)
+			}
+		}
+	})
+}

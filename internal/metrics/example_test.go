@@ -1,0 +1,40 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// The diminishing-returns signature of honeypot milking (Figure 4): each
+// post gains a fixed number of likes, but fewer and fewer likers are new.
+func ExampleUniqueTracker() {
+	u := metrics.NewUniqueTracker()
+	posts := [][]string{
+		{"a", "b", "c"},
+		{"b", "c", "d"},
+		{"a", "c", "d"},
+	}
+	for _, likers := range posts {
+		p := u.Step(likers)
+		fmt.Printf("post %d: likes=%d unique=%d\n", p.Step, p.CumulativeEvents, p.CumulativeUnique)
+	}
+	// Output:
+	// post 1: likes=3 unique=3
+	// post 2: likes=6 unique=4
+	// post 3: likes=9 unique=4
+}
+
+func ExampleIntHistogram() {
+	h := metrics.NewIntHistogram()
+	for _, postsLiked := range []int{1, 1, 1, 2, 3} {
+		h.Observe(postsLiked)
+	}
+	for _, bin := range h.Bins() {
+		fmt.Printf("%d posts: %.0f%%\n", bin.Value, 100*bin.Fraction)
+	}
+	// Output:
+	// 1 posts: 60%
+	// 2 posts: 20%
+	// 3 posts: 20%
+}

@@ -1,0 +1,82 @@
+package platform
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/graphapi"
+)
+
+// brokenServer simulates a platform returning malformed responses — the
+// transport-level failures a long-running crawler has to survive.
+func brokenServer(t *testing.T, status int, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHTTPClientMalformedJSON(t *testing.T) {
+	srv := brokenServer(t, http.StatusOK, "{not json at all")
+	c := NewHTTPClient(srv.URL)
+	if _, err := c.Me("tok", ""); err == nil {
+		t.Fatal("malformed /me body accepted")
+	}
+	if _, err := c.LikesOf("tok", "post"); err == nil {
+		t.Fatal("malformed likes body accepted")
+	}
+	if _, err := c.CommentsOf("tok", "post"); err == nil {
+		t.Fatal("malformed comments body accepted")
+	}
+	if _, err := c.FeedOf("tok"); err == nil {
+		t.Fatal("malformed feed body accepted")
+	}
+	if _, err := c.FriendsOf("tok", ""); err == nil {
+		t.Fatal("malformed friends body accepted")
+	}
+}
+
+func TestHTTPClientNonEnvelopeError(t *testing.T) {
+	srv := brokenServer(t, http.StatusBadGateway, "upstream exploded")
+	c := NewHTTPClient(srv.URL)
+	err := c.Like("tok", "post", "")
+	if err == nil {
+		t.Fatal("502 accepted")
+	}
+	if !strings.Contains(err.Error(), "502") || !strings.Contains(err.Error(), "upstream exploded") {
+		t.Fatalf("error = %v", err)
+	}
+	// Non-envelope errors carry no Graph API code.
+	if code := ErrorCode(err); code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+}
+
+func TestHTTPClientConnectionRefused(t *testing.T) {
+	c := NewHTTPClient("http://127.0.0.1:1") // nothing listens on port 1
+	if err := c.Like("tok", "post", ""); err == nil {
+		t.Fatal("dead endpoint accepted")
+	}
+	if _, err := c.AuthorizeImplicit("app", "https://x", "acct", nil); err == nil {
+		t.Fatal("dead dialog accepted")
+	}
+}
+
+func TestErrorCodeDispatch(t *testing.T) {
+	remote := &RemoteAPIError{Code: 613, Type: "PolicyException", Message: "limit"}
+	if got := ErrorCode(remote); got != 613 {
+		t.Fatalf("remote code = %d", got)
+	}
+	local := &graphapi.APIError{Code: 190, Type: "OAuthException", Message: "dead"}
+	if got := ErrorCode(local); got != 190 {
+		t.Fatalf("local code = %d", got)
+	}
+	if !strings.Contains(remote.Error(), "613") {
+		t.Fatalf("remote Error() = %q", remote.Error())
+	}
+}

@@ -1,0 +1,344 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTPClient implements Client over the platform's HTTP surface. It mimics
+// the behaviour of the collusion network tooling: it walks the dialog,
+// refuses to follow the final redirect, and scrapes the access token out
+// of the Location fragment — the "view-source" trick of Figure 3.
+type HTTPClient struct {
+	base string
+	http *http.Client
+}
+
+// NewHTTPClient returns a Client speaking HTTP to the platform at baseURL.
+func NewHTTPClient(baseURL string) *HTTPClient {
+	return &HTTPClient{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{
+			Timeout: 30 * time.Second,
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+	}
+}
+
+// RemoteAPIError is a Graph API error received over HTTP.
+type RemoteAPIError struct {
+	Code    int
+	Type    string
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteAPIError) Error() string {
+	return fmt.Sprintf("platform: (#%d) %s: %s", e.Code, e.Type, e.Message)
+}
+
+// apiError decodes a Graph API error envelope into an error value.
+func apiError(resp *http.Response) error {
+	var env struct {
+		Error struct {
+			Message string `json:"message"`
+			Type    string `json:"type"`
+			Code    int    `json:"code"`
+		} `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Message == "" {
+		return fmt.Errorf("platform: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return &RemoteAPIError{Code: env.Error.Code, Type: env.Error.Type, Message: env.Error.Message}
+}
+
+// AuthorizeImplicit implements Client by scraping the token from the
+// dialog redirect fragment — the "copy the token from the address bar"
+// workflow of Figure 3.
+func (c *HTTPClient) AuthorizeImplicit(appID, redirectURI, accountID string, scopes []string) (string, error) {
+	q := url.Values{}
+	q.Set("client_id", appID)
+	q.Set("redirect_uri", redirectURI)
+	q.Set("response_type", "token")
+	q.Set("account_id", accountID)
+	q.Set("scope", strings.Join(scopes, ","))
+	resp, err := c.http.Get(c.base + "/dialog/oauth?" + q.Encode())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		return "", apiError(resp)
+	}
+	loc, err := url.Parse(resp.Header.Get("Location"))
+	if err != nil {
+		return "", err
+	}
+	frag, err := url.ParseQuery(loc.Fragment)
+	if err != nil {
+		return "", err
+	}
+	tok := frag.Get("access_token")
+	if tok == "" {
+		return "", fmt.Errorf("platform: no access_token in redirect %q", loc)
+	}
+	return tok, nil
+}
+
+// do performs a form POST (or GET when form is nil) with source-IP
+// attribution via X-Forwarded-For.
+func (c *HTTPClient) do(method, path string, form url.Values, ip string) (*http.Response, error) {
+	var req *http.Request
+	var err error
+	if method == http.MethodPost {
+		req, err = http.NewRequest(method, c.base+path, strings.NewReader(form.Encode()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		u := c.base + path
+		if len(form) > 0 {
+			u += "?" + form.Encode()
+		}
+		req, err = http.NewRequest(method, u, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ip != "" {
+		req.Header.Set("X-Forwarded-For", ip)
+	}
+	return c.http.Do(req)
+}
+
+// Me implements Client.
+func (c *HTTPClient) Me(token, ip string) (Profile, error) {
+	resp, err := c.do(http.MethodGet, "/me", url.Values{"access_token": {token}}, ip)
+	if err != nil {
+		return Profile{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Profile{}, apiError(resp)
+	}
+	var body struct {
+		ID      string `json:"id"`
+		Name    string `json:"name"`
+		Country string `json:"country"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return Profile{}, err
+	}
+	return Profile{ID: body.ID, Name: body.Name, Country: body.Country}, nil
+}
+
+// Like implements Client.
+func (c *HTTPClient) Like(token, objectID, ip string) error {
+	resp, err := c.do(http.MethodPost, "/"+objectID+"/likes", url.Values{"access_token": {token}}, ip)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Comment implements Client.
+func (c *HTTPClient) Comment(token, postID, message, ip string) (string, error) {
+	form := url.Values{"access_token": {token}, "message": {message}}
+	resp, err := c.do(http.MethodPost, "/"+postID+"/comments", form, ip)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	var body struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	return body.ID, nil
+}
+
+// Publish implements Client.
+func (c *HTTPClient) Publish(token, message, ip string) (string, error) {
+	form := url.Values{"access_token": {token}, "message": {message}}
+	resp, err := c.do(http.MethodPost, "/me/feed", form, ip)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	var body struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	return body.ID, nil
+}
+
+// LikesOf implements Client. The likes edge is paginated server-side
+// (Facebook-style `after` cursors); the client walks every page, the way
+// the paper's crawlers collected complete liker lists.
+func (c *HTTPClient) LikesOf(token, objectID string) ([]LikeRecord, error) {
+	var out []LikeRecord
+	after := ""
+	for {
+		form := url.Values{"access_token": {token}, "limit": {"100"}}
+		if after != "" {
+			form.Set("after", after)
+		}
+		resp, err := c.do(http.MethodGet, "/"+objectID+"/likes", form, "")
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := apiError(resp)
+			resp.Body.Close()
+			return nil, err
+		}
+		var body struct {
+			Data []struct {
+				ID   string `json:"id"`
+				Time string `json:"time"`
+			} `json:"data"`
+			Paging struct {
+				Cursors struct {
+					After string `json:"after"`
+				} `json:"cursors"`
+			} `json:"paging"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range body.Data {
+			at, _ := time.Parse("2006-01-02T15:04:05Z", d.Time)
+			out = append(out, LikeRecord{AccountID: d.ID, At: at})
+		}
+		if body.Paging.Cursors.After == "" {
+			return out, nil
+		}
+		after = body.Paging.Cursors.After
+	}
+}
+
+// FeedOf implements Client via GET /me/feed.
+func (c *HTTPClient) FeedOf(token string) ([]PostRecord, error) {
+	resp, err := c.do(http.MethodGet, "/me/feed", url.Values{"access_token": {token}}, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var body struct {
+		Data []struct {
+			ID      string `json:"id"`
+			Message string `json:"message"`
+			Time    string `json:"time"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	out := make([]PostRecord, len(body.Data))
+	for i, d := range body.Data {
+		at, _ := time.Parse("2006-01-02T15:04:05Z", d.Time)
+		out[i] = PostRecord{ID: d.ID, Message: d.Message, At: at}
+	}
+	return out, nil
+}
+
+// FriendsOf lists the token account's friends via the /me/friends edge
+// (requires the user_friends scope).
+func (c *HTTPClient) FriendsOf(token, ip string) ([]Profile, error) {
+	resp, err := c.do(http.MethodGet, "/me/friends", url.Values{"access_token": {token}}, ip)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var body struct {
+		Data []struct {
+			ID      string `json:"id"`
+			Name    string `json:"name"`
+			Country string `json:"country"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	out := make([]Profile, len(body.Data))
+	for i, d := range body.Data {
+		out[i] = Profile{ID: d.ID, Name: d.Name, Country: d.Country}
+	}
+	return out, nil
+}
+
+// CommentsOf implements Client, walking the paginated comments edge.
+func (c *HTTPClient) CommentsOf(token, postID string) ([]CommentRecord, error) {
+	var out []CommentRecord
+	after := ""
+	for {
+		form := url.Values{"access_token": {token}, "limit": {"100"}}
+		if after != "" {
+			form.Set("after", after)
+		}
+		resp, err := c.do(http.MethodGet, "/"+postID+"/comments", form, "")
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := apiError(resp)
+			resp.Body.Close()
+			return nil, err
+		}
+		var body struct {
+			Data []struct {
+				ID      string `json:"id"`
+				From    string `json:"from"`
+				Message string `json:"message"`
+				Time    string `json:"time"`
+			} `json:"data"`
+			Paging struct {
+				Cursors struct {
+					After string `json:"after"`
+				} `json:"cursors"`
+			} `json:"paging"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range body.Data {
+			at, _ := time.Parse("2006-01-02T15:04:05Z", d.Time)
+			out = append(out, CommentRecord{ID: d.ID, AccountID: d.From, Message: d.Message, At: at})
+		}
+		if body.Paging.Cursors.After == "" {
+			return out, nil
+		}
+		after = body.Paging.Cursors.After
+	}
+}

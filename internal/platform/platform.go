@@ -1,0 +1,251 @@
+// Package platform is the composition root of the simulated social
+// network: it wires the social graph, the application registry, the OAuth
+// authorization server, the Graph API, the Internet model, and the policy
+// chain into one object, and exposes the platform both as an in-process
+// API and over real HTTP.
+//
+// Collusion networks, honeypots, and the scanner all talk to the platform
+// through the Client interface. Two implementations exist with identical
+// semantics: LocalClient (direct calls; used by the large-scale
+// experiments) and HTTPClient (real HTTP round trips; used by examples,
+// integration tests, and the scanner). Both funnel into the same
+// graphapi.API, so every countermeasure sees the same request tuples
+// regardless of transport.
+package platform
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/graphapi"
+	"repro/internal/netsim"
+	"repro/internal/oauthsim"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+// ErrorCode extracts the Graph API error code from an error returned by
+// either Client transport, or 0 when the error is not a Graph API error.
+// Collusion network delivery engines dispatch on this to distinguish dead
+// tokens (invalidate-and-drop) from rate limiting (keep and adapt).
+func ErrorCode(err error) int {
+	if code := graphapi.ErrCode(err); code != 0 {
+		return code
+	}
+	var re *RemoteAPIError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	return 0
+}
+
+// Platform aggregates all platform-side subsystems.
+type Platform struct {
+	Clock    simclock.Clock
+	Graph    *socialgraph.Store
+	Apps     *apps.Registry
+	OAuth    *oauthsim.Server
+	API      *graphapi.API
+	Internet *netsim.Internet
+}
+
+// New assembles a platform. internet may be nil to skip AS resolution.
+func New(clock simclock.Clock, internet *netsim.Internet) *Platform {
+	graph := socialgraph.New()
+	registry := apps.NewRegistry()
+	oauth := oauthsim.NewServer(clock, registry, graph)
+	api := graphapi.New(clock, graph, oauth, registry, internet, graphapi.NewChain())
+	return &Platform{
+		Clock:    clock,
+		Graph:    graph,
+		Apps:     registry,
+		OAuth:    oauth,
+		API:      api,
+		Internet: internet,
+	}
+}
+
+// Handler returns the platform's HTTP surface.
+func (p *Platform) Handler() http.Handler {
+	return graphapi.Handler(p.API)
+}
+
+// ServeHTTPTest starts an httptest server for the platform. The caller
+// owns the returned server and must Close it.
+func (p *Platform) ServeHTTPTest() *httptest.Server {
+	return httptest.NewServer(p.Handler())
+}
+
+// Chain returns the policy chain for countermeasure deployment.
+func (p *Platform) Chain() *graphapi.Chain {
+	return p.API.Chain()
+}
+
+// LikeRecord is a transport-neutral view of one like.
+type LikeRecord struct {
+	AccountID string
+	At        time.Time
+}
+
+// CommentRecord is a transport-neutral view of one comment.
+type CommentRecord struct {
+	ID        string
+	AccountID string
+	Message   string
+	At        time.Time
+}
+
+// Profile is a transport-neutral view of /me.
+type Profile struct {
+	ID      string
+	Name    string
+	Country string
+}
+
+// Client is the platform operation surface collusion networks and
+// honeypots use. ip is the source address the call should appear to
+// originate from ("" lets the transport decide).
+type Client interface {
+	// AuthorizeImplicit walks the implicit OAuth flow for the given app on
+	// behalf of accountID and returns the leaked access token. redirectURI
+	// must match the app's configured redirection endpoint — clients learn
+	// it out of band (collusion networks hardcode the install link).
+	AuthorizeImplicit(appID, redirectURI, accountID string, scopes []string) (string, error)
+	// Me returns the profile of the token's account.
+	Me(token, ip string) (Profile, error)
+	// Like publishes a like.
+	Like(token, objectID, ip string) error
+	// Comment publishes a comment and returns its ID.
+	Comment(token, postID, message, ip string) (string, error)
+	// Publish creates a status update and returns the post ID.
+	Publish(token, message, ip string) (string, error)
+	// LikesOf lists likes on an object.
+	LikesOf(token, objectID string) ([]LikeRecord, error)
+	// CommentsOf lists comments on a post.
+	CommentsOf(token, postID string) ([]CommentRecord, error)
+	// FeedOf lists the token account's own posts (used by premium
+	// auto-delivery to find fresh posts without a member login).
+	FeedOf(token string) ([]PostRecord, error)
+}
+
+// PostRecord is a transport-neutral view of one feed post.
+type PostRecord struct {
+	ID      string
+	Message string
+	At      time.Time
+}
+
+// LocalClient implements Client with direct in-process calls.
+type LocalClient struct {
+	p *Platform
+}
+
+// NewLocalClient returns a Client bound directly to the platform.
+func NewLocalClient(p *Platform) *LocalClient {
+	return &LocalClient{p: p}
+}
+
+// AuthorizeImplicit implements Client.
+func (c *LocalClient) AuthorizeImplicit(appID, redirectURI, accountID string, scopes []string) (string, error) {
+	res, err := c.p.OAuth.Authorize(oauthsim.AuthorizeRequest{
+		AppID:        appID,
+		RedirectURI:  redirectURI,
+		ResponseType: oauthsim.ResponseToken,
+		Scopes:       scopes,
+		AccountID:    accountID,
+	})
+	if err != nil {
+		return "", err
+	}
+	return res.AccessToken, nil
+}
+
+// Me implements Client.
+func (c *LocalClient) Me(token, ip string) (Profile, error) {
+	acct, err := c.p.API.Me(graphapi.CallContext{AccessToken: token, SourceIP: ip})
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{ID: acct.ID, Name: acct.Name, Country: acct.Country}, nil
+}
+
+// Like implements Client.
+func (c *LocalClient) Like(token, objectID, ip string) error {
+	return c.p.API.Like(graphapi.CallContext{AccessToken: token, SourceIP: ip}, objectID)
+}
+
+// Comment implements Client.
+func (c *LocalClient) Comment(token, postID, message, ip string) (string, error) {
+	cm, err := c.p.API.Comment(graphapi.CallContext{AccessToken: token, SourceIP: ip}, postID, message)
+	if err != nil {
+		return "", err
+	}
+	return cm.ID, nil
+}
+
+// Publish implements Client.
+func (c *LocalClient) Publish(token, message, ip string) (string, error) {
+	p, err := c.p.API.Publish(graphapi.CallContext{AccessToken: token, SourceIP: ip}, message)
+	if err != nil {
+		return "", err
+	}
+	return p.ID, nil
+}
+
+// LikesOf implements Client.
+func (c *LocalClient) LikesOf(token, objectID string) ([]LikeRecord, error) {
+	likes, err := c.p.API.Likes(graphapi.CallContext{AccessToken: token}, objectID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LikeRecord, len(likes))
+	for i, l := range likes {
+		out[i] = LikeRecord{AccountID: l.AccountID, At: l.At}
+	}
+	return out, nil
+}
+
+// FriendsOf lists the token account's friends (requires the user_friends
+// scope). It is not part of the minimal Client interface — collusion
+// delivery never needs it — but both transports provide it for the
+// Section 8 harvesting attacks.
+func (c *LocalClient) FriendsOf(token, ip string) ([]Profile, error) {
+	friends, err := c.p.API.Friends(graphapi.CallContext{AccessToken: token, SourceIP: ip})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Profile, len(friends))
+	for i, f := range friends {
+		out[i] = Profile{ID: f.ID, Name: f.Name, Country: f.Country}
+	}
+	return out, nil
+}
+
+// FeedOf implements Client.
+func (c *LocalClient) FeedOf(token string) ([]PostRecord, error) {
+	posts, err := c.p.API.Feed(graphapi.CallContext{AccessToken: token})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PostRecord, len(posts))
+	for i, p := range posts {
+		out[i] = PostRecord{ID: p.ID, Message: p.Message, At: p.CreatedAt}
+	}
+	return out, nil
+}
+
+// CommentsOf implements Client.
+func (c *LocalClient) CommentsOf(token, postID string) ([]CommentRecord, error) {
+	comments, err := c.p.API.Comments(graphapi.CallContext{AccessToken: token}, postID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CommentRecord, len(comments))
+	for i, cm := range comments {
+		out[i] = CommentRecord{ID: cm.ID, AccountID: cm.AccountID, Message: cm.Message, At: cm.At}
+	}
+	return out, nil
+}

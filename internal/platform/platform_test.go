@@ -1,0 +1,299 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/defense"
+	"repro/internal/netsim"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+var t0 = time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
+
+type world struct {
+	p      *Platform
+	clock  *simclock.Simulated
+	app    apps.App
+	member socialgraph.Account
+	author socialgraph.Account
+	post   socialgraph.Post
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	clock := simclock.NewSimulated(t0)
+	internet := netsim.NewInternet()
+	if err := internet.RegisterAS(netsim.AS{Number: 64500, Name: "BP", Bulletproof: true}, "203.0.113.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	p := New(clock, internet)
+	app := p.Apps.Register(apps.Config{
+		Name:              "HTC Sense",
+		RedirectURI:       "https://htc.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	member := p.Graph.CreateAccount("member", "IN", t0)
+	author := p.Graph.CreateAccount("author", "IN", t0)
+	post, err := p.Graph.CreatePost(author.ID, "my status", socialgraph.WriteMeta{At: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{p: p, clock: clock, app: app, member: member, author: author, post: post}
+}
+
+// clientsUnderTest returns both transports bound to the same platform.
+func clientsUnderTest(t *testing.T, w *world) map[string]Client {
+	t.Helper()
+	srv := w.p.ServeHTTPTest()
+	t.Cleanup(srv.Close)
+	return map[string]Client{
+		"local": NewLocalClient(w.p),
+		"http":  NewHTTPClient(srv.URL),
+	}
+}
+
+func TestClientTransportsEquivalent(t *testing.T) {
+	w := newWorld(t)
+	for name, client := range clientsUnderTest(t, w) {
+		t.Run(name, func(t *testing.T) {
+			member := w.p.Graph.CreateAccount("member-"+name, "IN", t0)
+			post, err := w.p.Graph.CreatePost(w.author.ID, "status for "+name, socialgraph.WriteMeta{At: t0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tok, err := client.AuthorizeImplicit(w.app.ID, w.app.RedirectURI, member.ID,
+				[]string{apps.PermPublishActions, apps.PermPublicProfile})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			me, err := client.Me(tok, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if me.ID != member.ID || me.Country != "IN" {
+				t.Fatalf("Me = %+v", me)
+			}
+			if err := client.Like(tok, post.ID, "203.0.113.9"); err != nil {
+				t.Fatal(err)
+			}
+			likes, err := client.LikesOf(tok, post.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, l := range likes {
+				if l.AccountID == member.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("member like missing from %v", likes)
+			}
+			cid, err := client.Comment(tok, post.ID, "first!", "203.0.113.9")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cid == "" {
+				t.Fatal("empty comment ID")
+			}
+			comments, err := client.CommentsOf(tok, post.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(comments) == 0 || comments[len(comments)-1].Message != "first!" {
+				t.Fatalf("comments = %+v", comments)
+			}
+			pid, err := client.Publish(tok, "hello from "+name, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.p.Graph.Post(pid); err != nil {
+				t.Fatalf("published post missing: %v", err)
+			}
+		})
+	}
+}
+
+func TestClientErrorsPropagate(t *testing.T) {
+	w := newWorld(t)
+	for name, client := range clientsUnderTest(t, w) {
+		t.Run(name, func(t *testing.T) {
+			member := w.p.Graph.CreateAccount("err-member-"+name, "IN", t0)
+			post, err := w.p.Graph.CreatePost(w.author.ID, "err post for "+name, socialgraph.WriteMeta{At: t0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := client.AuthorizeImplicit(w.app.ID, "https://evil.example", member.ID, nil); err == nil {
+				t.Fatal("bad redirect URI accepted")
+			}
+			if err := client.Like("bogus-token", post.ID, ""); err == nil {
+				t.Fatal("bogus token accepted")
+			}
+			tok, err := client.AuthorizeImplicit(w.app.ID, w.app.RedirectURI, member.ID, []string{apps.PermPublishActions})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Like(tok, post.ID, ""); err != nil {
+				t.Fatal(err)
+			}
+			err = client.Like(tok, post.ID, "")
+			if err == nil {
+				t.Fatal("duplicate like accepted")
+			}
+			if !strings.Contains(err.Error(), "duplicate") {
+				t.Fatalf("duplicate error text = %v", err)
+			}
+		})
+	}
+}
+
+func TestCountermeasuresApplyAcrossTransports(t *testing.T) {
+	w := newWorld(t)
+	limiter := defense.NewTokenRateLimiter(w.clock, 1, time.Hour)
+	w.p.Chain().Append(limiter)
+	for name, client := range clientsUnderTest(t, w) {
+		t.Run(name, func(t *testing.T) {
+			member := w.p.Graph.CreateAccount("m-"+name, "IN", t0)
+			post, err := w.p.Graph.CreatePost(w.author.ID, "post for "+name, socialgraph.WriteMeta{At: t0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			post2, err := w.p.Graph.CreatePost(w.author.ID, "post2 for "+name, socialgraph.WriteMeta{At: t0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tok, err := client.AuthorizeImplicit(w.app.ID, w.app.RedirectURI, member.ID, []string{apps.PermPublishActions})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Like(tok, post.ID, ""); err != nil {
+				t.Fatal(err)
+			}
+			if err := client.Like(tok, post2.ID, ""); err == nil {
+				t.Fatal("rate limit not enforced")
+			}
+		})
+	}
+}
+
+func TestASBlockAppliesOverHTTP(t *testing.T) {
+	w := newWorld(t)
+	blocker := defense.NewASBlocker()
+	blocker.Block(64500)
+	w.p.Chain().Append(blocker)
+	srv := w.p.ServeHTTPTest()
+	t.Cleanup(srv.Close)
+	client := NewHTTPClient(srv.URL)
+	tok, err := client.AuthorizeImplicit(w.app.ID, w.app.RedirectURI, w.member.ID, []string{apps.PermPublishActions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the bulletproof AS: denied.
+	if err := client.Like(tok, w.post.ID, "203.0.113.77"); err == nil {
+		t.Fatal("like from blocked AS allowed")
+	}
+	// From an unknown IP: allowed.
+	if err := client.Like(tok, w.post.ID, "192.0.2.1"); err != nil {
+		t.Fatalf("like from unblocked source denied: %v", err)
+	}
+}
+
+func TestLocalClientFeedAndFriends(t *testing.T) {
+	w := newWorld(t)
+	// Re-register an app approved for friends access.
+	app := w.p.Apps.Register(apps.Config{
+		Name:              "Full Access",
+		RedirectURI:       "https://full.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions: []string{
+			apps.PermPublicProfile, apps.PermUserFriends, apps.PermPublishActions,
+		},
+	})
+	friend := w.p.Graph.CreateAccount("friendly", "EG", t0)
+	if err := w.p.Graph.AddFriendship(w.member.ID, friend.ID); err != nil {
+		t.Fatal(err)
+	}
+	srv := w.p.ServeHTTPTest()
+	t.Cleanup(srv.Close)
+	for name, client := range map[string]Client{
+		"local": NewLocalClient(w.p),
+		"http":  NewHTTPClient(srv.URL),
+	} {
+		t.Run(name, func(t *testing.T) {
+			tok, err := client.AuthorizeImplicit(app.ID, app.RedirectURI, w.member.ID,
+				[]string{apps.PermUserFriends, apps.PermPublishActions})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// FeedOf sees posts published via the token.
+			postID, err := client.Publish(tok, "feed post via "+name, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed, err := client.FeedOf(tok)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, p := range feed {
+				if p.ID == postID {
+					found = true
+					if !strings.Contains(p.Message, name) {
+						t.Fatalf("feed message = %q", p.Message)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("published post missing from feed: %v", feed)
+			}
+			// FriendsOf exposes the friend edge.
+			type friendLister interface {
+				FriendsOf(token, ip string) ([]Profile, error)
+			}
+			friends, err := client.(friendLister).FriendsOf(tok, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(friends) != 1 || friends[0].ID != friend.ID || friends[0].Country != "EG" {
+				t.Fatalf("friends = %+v", friends)
+			}
+			// Error paths: a scopeless token is refused.
+			bare, err := client.AuthorizeImplicit(app.ID, app.RedirectURI, w.member.ID,
+				[]string{apps.PermPublishActions})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := client.(friendLister).FriendsOf(bare, ""); err == nil {
+				t.Fatal("scopeless FriendsOf succeeded")
+			}
+			if _, err := client.FeedOf("dead-token"); err == nil {
+				t.Fatal("FeedOf with dead token succeeded")
+			}
+			if _, err := client.Comment("dead-token", "p", "m", ""); err == nil {
+				t.Fatal("Comment with dead token succeeded")
+			}
+			if _, err := client.Publish("dead-token", "m", ""); err == nil {
+				t.Fatal("Publish with dead token succeeded")
+			}
+			if _, err := client.Me("dead-token", ""); err == nil {
+				t.Fatal("Me with dead token succeeded")
+			}
+			if _, err := client.LikesOf("dead-token", "p"); err == nil {
+				t.Fatal("LikesOf with dead token succeeded")
+			}
+			if _, err := client.CommentsOf("dead-token", "p"); err == nil {
+				t.Fatal("CommentsOf with dead token succeeded")
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package scanner
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/socialgraph"
+)
+
+var t0 = time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	p    *platform.Platform
+	srv  *httptest.Server
+	scan *Scanner
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clock := simclock.NewSimulated(t0)
+	p := platform.New(clock, nil)
+	srv := p.ServeHTTPTest()
+	t.Cleanup(srv.Close)
+	test := p.Graph.CreateAccount("scanner-test-account", "US", t0)
+	post, err := p.Graph.CreatePost(test.ID, "scanner test post", socialgraph.WriteMeta{At: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{p: p, srv: srv, scan: New(srv.URL, test.ID, post.ID)}
+}
+
+func (f *fixture) register(t *testing.T, name string, clientFlow, requireSecret bool, lifetime apps.TokenLifetime, perms []string, mau int) apps.App {
+	t.Helper()
+	return f.p.Apps.Register(apps.Config{
+		Name:              name,
+		RedirectURI:       "https://" + name + ".example/cb",
+		ClientFlowEnabled: clientFlow,
+		RequireAppSecret:  requireSecret,
+		Lifetime:          lifetime,
+		Permissions:       perms,
+		MAU:               mau,
+		DAU:               mau / 10,
+	})
+}
+
+func writePerms() []string {
+	return []string{apps.PermPublicProfile, apps.PermPublishActions}
+}
+
+func (f *fixture) loginURL(app apps.App) string {
+	return LoginURL(f.srv.URL, app.ID, app.RedirectURI, app.Permissions)
+}
+
+func TestScanSusceptibleLongTerm(t *testing.T) {
+	f := newFixture(t)
+	app := f.register(t, "htc-sense", true, false, apps.LongTerm, writePerms(), 1_000_000)
+	res := f.scan.ScanLoginURL(f.loginURL(app))
+	if !res.Susceptible {
+		t.Fatalf("not susceptible: %+v", res)
+	}
+	if !res.LongTerm {
+		t.Fatalf("not long-term: %+v", res)
+	}
+	if res.AppID != app.ID {
+		t.Fatalf("AppID = %q", res.AppID)
+	}
+	if res.ExpiresIn != apps.LongTermDuration {
+		t.Fatalf("ExpiresIn = %v", res.ExpiresIn)
+	}
+}
+
+func TestScanSusceptibleShortTerm(t *testing.T) {
+	f := newFixture(t)
+	app := f.register(t, "short-app", true, false, apps.ShortTerm, writePerms(), 1000)
+	res := f.scan.ScanLoginURL(f.loginURL(app))
+	if !res.Susceptible || res.LongTerm {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestScanClientFlowDisabled(t *testing.T) {
+	f := newFixture(t)
+	app := f.register(t, "secure-app", false, false, apps.LongTerm, writePerms(), 1000)
+	res := f.scan.ScanLoginURL(f.loginURL(app))
+	if res.Susceptible {
+		t.Fatalf("server-side-only app marked susceptible: %+v", res)
+	}
+	if !strings.Contains(res.Reason, "client-side flow") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestScanSecretRequired(t *testing.T) {
+	f := newFixture(t)
+	app := f.register(t, "proofed-app", true, true, apps.LongTerm, writePerms(), 1000)
+	res := f.scan.ScanLoginURL(f.loginURL(app))
+	if res.Susceptible {
+		t.Fatalf("secret-proof app marked susceptible: %+v", res)
+	}
+	if !strings.Contains(res.Reason, "secret") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestScanReadOnlyApp(t *testing.T) {
+	f := newFixture(t)
+	app := f.register(t, "readonly-app", true, false, apps.LongTerm,
+		[]string{apps.PermPublicProfile}, 1000)
+	res := f.scan.ScanLoginURL(f.loginURL(app))
+	if res.Susceptible {
+		t.Fatalf("read-only app marked susceptible: %+v", res)
+	}
+	if !strings.Contains(res.Reason, "write failed") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+}
+
+func TestScanGarbageURL(t *testing.T) {
+	f := newFixture(t)
+	res := f.scan.ScanLoginURL("://not-a-url")
+	if res.Susceptible || res.Reason == "" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestScanAllAndSummarize(t *testing.T) {
+	f := newFixture(t)
+	specs := []struct {
+		name          string
+		clientFlow    bool
+		requireSecret bool
+		lifetime      apps.TokenLifetime
+		mau           int
+	}{
+		{"spotify-like", true, false, apps.LongTerm, 50_000_000},
+		{"psn-like", true, false, apps.LongTerm, 5_000_000},
+		{"short-1", true, false, apps.ShortTerm, 4_000_000},
+		{"short-2", true, false, apps.ShortTerm, 3_000_000},
+		{"locked-1", false, false, apps.LongTerm, 2_000_000},
+		{"locked-2", true, true, apps.LongTerm, 1_000_000},
+	}
+	var entries []AppDirectoryEntry
+	for _, sp := range specs {
+		app := f.register(t, sp.name, sp.clientFlow, sp.requireSecret, sp.lifetime, writePerms(), sp.mau)
+		entries = append(entries, AppDirectoryEntry{App: app, LoginURL: f.loginURL(app)})
+	}
+	results := f.scan.ScanAll(entries)
+	if len(results) != len(specs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	sum := Summarize(results)
+	if sum.Scanned != 6 || sum.Susceptible != 4 || sum.SusceptibleLongTerm != 2 || sum.SusceptibleShortTerm != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	long := LongTermSusceptible(results)
+	if len(long) != 2 {
+		t.Fatalf("long-term susceptible = %d", len(long))
+	}
+	if long[0].Name != "spotify-like" || long[1].Name != "psn-like" {
+		t.Fatalf("order = %s, %s", long[0].Name, long[1].Name)
+	}
+	if long[0].MAU != 50_000_000 {
+		t.Fatalf("metadata not carried: %+v", long[0])
+	}
+}
+
+// The scanner's write probe is re-runnable: each scan publishes a fresh
+// probe post, so repeated scans of the same app do not collide on a
+// duplicate like.
+func TestScanRepeatedRuns(t *testing.T) {
+	f := newFixture(t)
+	app := f.register(t, "again-app", true, false, apps.LongTerm, writePerms(), 1000)
+	for i := 0; i < 3; i++ {
+		res := f.scan.ScanLoginURL(f.loginURL(app))
+		if !res.Susceptible {
+			t.Fatalf("scan %d: %+v", i, res)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package shorturl
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2014, time.June, 11, 0, 0, 0, 0, time.UTC)
+
+func TestShortenAndResolve(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	s := NewService(clock)
+	code := s.Shorten("https://platform.example/dialog/oauth?client_id=htc")
+	long, err := s.Resolve(code, "mg-likers.com", "IN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(long, "client_id=htc") {
+		t.Fatalf("long = %q", long)
+	}
+	if _, err := s.Resolve("nope", "", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown code err = %v", err)
+	}
+}
+
+func TestDistinctCodesForSameLongURL(t *testing.T) {
+	s := NewService(simclock.NewSimulated(t0))
+	a := s.Shorten("https://x.example")
+	b := s.Shorten("https://x.example")
+	if a == b {
+		t.Fatalf("same code minted twice: %q", a)
+	}
+}
+
+func TestInfoAggregates(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	s := NewService(clock)
+	longURL := "https://platform.example/dialog/oauth?client_id=htc"
+	a := s.Shorten(longURL)
+	clock.Advance(24 * time.Hour)
+	b := s.Shorten(longURL)
+
+	for i := 0; i < 5; i++ {
+		if _, err := s.Resolve(a, "mg-likers.com", "IN"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Resolve(b, "djliker.com", "EG"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _ = s.Resolve(a, "begeniyor.com", "TR")
+
+	info, err := s.Info(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ShortClicks != 6 {
+		t.Fatalf("ShortClicks = %d, want 6", info.ShortClicks)
+	}
+	// Long clicks sum across both codes pointing at the same URL.
+	if info.LongClicks != 9 {
+		t.Fatalf("LongClicks = %d, want 9", info.LongClicks)
+	}
+	if info.TopReferrer != "mg-likers.com" {
+		t.Fatalf("TopReferrer = %q", info.TopReferrer)
+	}
+	if info.Countries["IN"] != 5 || info.Countries["TR"] != 1 {
+		t.Fatalf("Countries = %v", info.Countries)
+	}
+	if !info.CreatedAt.Equal(t0) {
+		t.Fatalf("CreatedAt = %v", info.CreatedAt)
+	}
+	if _, err := s.Info("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Info(missing) err = %v", err)
+	}
+}
+
+func TestDailyClicks(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	s := NewService(clock)
+	code := s.Shorten("https://x.example")
+	for i := 0; i < 4; i++ {
+		_, _ = s.Resolve(code, "", "")
+	}
+	clock.Advance(24 * time.Hour)
+	for i := 0; i < 2; i++ {
+		_, _ = s.Resolve(code, "", "")
+	}
+	d0, err := s.DailyClicks(code, t0)
+	if err != nil || d0 != 4 {
+		t.Fatalf("day0 = %d, %v", d0, err)
+	}
+	d1, _ := s.DailyClicks(code, t0.Add(25*time.Hour))
+	if d1 != 2 {
+		t.Fatalf("day1 = %d", d1)
+	}
+	if _, err := s.DailyClicks("missing", t0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+}
+
+func TestCodesOrdered(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	s := NewService(clock)
+	a := s.Shorten("https://a.example")
+	clock.Advance(time.Hour)
+	b := s.Shorten("https://b.example")
+	codes := s.Codes()
+	if len(codes) != 2 || codes[0] != a || codes[1] != b {
+		t.Fatalf("Codes = %v", codes)
+	}
+}
+
+func TestHTTPRedirectAndAnalytics(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	s := NewService(clock)
+	code := s.Shorten("https://platform.example/dialog/oauth")
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/"+code, nil)
+	req.Header.Set("Referer", "hublaa.me")
+	req.Header.Set("X-Country", "IN")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Location"); got != "https://platform.example/dialog/oauth" {
+		t.Fatalf("Location = %q", got)
+	}
+
+	aresp, err := http.Get(srv.URL + "/" + code + "+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aresp.Body.Close()
+	body, _ := io.ReadAll(aresp.Body)
+	text := string(body)
+	if !strings.Contains(text, "short_clicks: 1") || !strings.Contains(text, "top_referrer: hublaa.me") {
+		t.Fatalf("analytics page = %s", text)
+	}
+
+	nresp, err := http.Get(srv.URL + "/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown code status = %d", nresp.StatusCode)
+	}
+}
+
+func TestCodeShape(t *testing.T) {
+	s := NewService(simclock.NewSimulated(t0))
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		code := s.Shorten("https://x.example")
+		if len(code) < 6 {
+			t.Fatalf("code %q shorter than 6", code)
+		}
+		if seen[code] {
+			t.Fatalf("duplicate code %q", code)
+		}
+		seen[code] = true
+	}
+}

@@ -1,0 +1,72 @@
+package socialgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Friendship support. The paper's Section 8 highlights that leaked
+// tokens with the user_friends permission expose members' social graphs,
+// enabling personal-information harvesting and malware propagation along
+// friend edges; the extension experiments reproduce those attacks, so the
+// substrate models undirected friendships.
+
+// AddFriendship records an undirected friend edge between two accounts.
+// Adding an existing edge or a self-edge is an error.
+func (s *Store) AddFriendship(a, b string) error {
+	if a == b {
+		return fmt.Errorf("socialgraph: self-friendship for %q: %w", a, ErrInvalidReference)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[a]; !ok {
+		return fmt.Errorf("account %q: %w", a, ErrNotFound)
+	}
+	if _, ok := s.accounts[b]; !ok {
+		return fmt.Errorf("account %q: %w", b, ErrNotFound)
+	}
+	if s.friends == nil {
+		s.friends = make(map[string]map[string]bool)
+	}
+	if s.friends[a][b] {
+		return fmt.Errorf("socialgraph: %q and %q already friends: %w", a, b, ErrAlreadyLiked)
+	}
+	link := func(x, y string) {
+		set := s.friends[x]
+		if set == nil {
+			set = make(map[string]bool)
+			s.friends[x] = set
+		}
+		set[y] = true
+	}
+	link(a, b)
+	link(b, a)
+	return nil
+}
+
+// Friends returns the account's friend IDs in sorted order.
+func (s *Store) Friends(accountID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.friends[accountID]
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FriendCount returns the number of friends of the account.
+func (s *Store) FriendCount(accountID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.friends[accountID])
+}
+
+// AreFriends reports whether an edge exists.
+func (s *Store) AreFriends(a, b string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.friends[a][b]
+}

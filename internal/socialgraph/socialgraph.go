@@ -1,0 +1,494 @@
+// Package socialgraph implements the social network substrate the rest of
+// the reproduction runs on: accounts, posts, likes, comments, and pages,
+// held in a concurrency-safe in-memory store with a full activity log.
+//
+// The store models the Facebook semantics the paper's measurements depend
+// on:
+//
+//   - a like is idempotent per (account, object) — repeated likes by the
+//     same account do not inflate counts, which is why collusion networks
+//     must sample *distinct* member tokens per request and why honeypot
+//     milking converges on the true membership (Figure 4);
+//   - every write is attributed to the application and source IP that
+//     performed it, which is what the Section 6 countermeasures key on;
+//   - each account has an activity log of its outgoing actions, which the
+//     honeypots crawl to observe how collusion networks spend their tokens
+//     (Table 4 "outgoing activities", Figure 7).
+package socialgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNotFound         = errors.New("socialgraph: object not found")
+	ErrSuspended        = errors.New("socialgraph: account suspended")
+	ErrAlreadyLiked     = errors.New("socialgraph: already liked")
+	ErrNotLiked         = errors.New("socialgraph: not liked")
+	ErrEmptyMessage     = errors.New("socialgraph: empty message")
+	ErrInvalidReference = errors.New("socialgraph: invalid object reference")
+)
+
+// Account is a user account.
+type Account struct {
+	ID        string
+	Name      string
+	Country   string
+	CreatedAt time.Time
+	Suspended bool
+}
+
+// Page is a fan page that can own posts and receive likes.
+type Page struct {
+	ID        string
+	Name      string
+	OwnerID   string
+	CreatedAt time.Time
+}
+
+// Like records one like on an object.
+type Like struct {
+	AccountID string
+	ObjectID  string
+	AppID     string // application whose token performed the like ("" = first-party)
+	SourceIP  string // IP the Graph API request originated from
+	At        time.Time
+}
+
+// Comment is a comment on a post.
+type Comment struct {
+	ID        string
+	PostID    string
+	AccountID string
+	Message   string
+	AppID     string
+	SourceIP  string
+	At        time.Time
+}
+
+// Post is a status update on an account's or page's timeline.
+type Post struct {
+	ID        string
+	AuthorID  string // account or page ID
+	Message   string
+	CreatedAt time.Time
+}
+
+// Verb enumerates activity-log actions.
+type Verb string
+
+// Activity verbs.
+const (
+	VerbPost    Verb = "post"
+	VerbLike    Verb = "like"
+	VerbComment Verb = "comment"
+)
+
+// Activity is one entry of an account's outgoing activity log.
+type Activity struct {
+	ActorID  string
+	Verb     Verb
+	ObjectID string // post/comment ID acted on or created
+	TargetID string // owner (account or page) of the object acted on
+	AppID    string
+	SourceIP string
+	At       time.Time
+}
+
+// Store is the in-memory social graph. The zero value is not usable; use
+// New. Store is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	minter   *ids.Minter
+	accounts map[string]*Account
+	pages    map[string]*Page
+	posts    map[string]*Post
+	comments map[string]*Comment
+	// likesByObject[objectID][accountID] = like
+	likesByObject map[string]map[string]Like
+	// likeOrder preserves insertion order of likes per object for crawling.
+	likeOrder map[string][]string
+	// postsByAuthor[authorID] = post IDs in creation order
+	postsByAuthor map[string][]string
+	// commentsByPost[postID] = comment IDs in creation order
+	commentsByPost map[string][]string
+	// activity[accountID] = outgoing activity log
+	activity map[string][]Activity
+	// friends[accountID] = set of friend account IDs (undirected edges,
+	// stored symmetrically); allocated lazily by AddFriendship.
+	friends map[string]map[string]bool
+}
+
+// New returns an empty Store.
+func New() *Store {
+	return &Store{
+		minter:         ids.NewMinter(),
+		accounts:       make(map[string]*Account),
+		pages:          make(map[string]*Page),
+		posts:          make(map[string]*Post),
+		comments:       make(map[string]*Comment),
+		likesByObject:  make(map[string]map[string]Like),
+		likeOrder:      make(map[string][]string),
+		postsByAuthor:  make(map[string][]string),
+		commentsByPost: make(map[string][]string),
+		activity:       make(map[string][]Activity),
+	}
+}
+
+// CreateAccount registers a new account and returns it.
+func (s *Store) CreateAccount(name, country string, at time.Time) Account {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := &Account{
+		ID:        s.minter.Next(ids.KindAccount),
+		Name:      name,
+		Country:   country,
+		CreatedAt: at,
+	}
+	s.accounts[a.ID] = a
+	return *a
+}
+
+// Account returns the account with the given ID.
+func (s *Store) Account(id string) (Account, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.accounts[id]
+	if !ok {
+		return Account{}, fmt.Errorf("account %q: %w", id, ErrNotFound)
+	}
+	return *a, nil
+}
+
+// AccountCount returns the number of registered accounts.
+func (s *Store) AccountCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.accounts)
+}
+
+// SetSuspended marks an account suspended or reinstated. Suspended accounts
+// cannot perform writes.
+func (s *Store) SetSuspended(id string, suspended bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[id]
+	if !ok {
+		return fmt.Errorf("account %q: %w", id, ErrNotFound)
+	}
+	a.Suspended = suspended
+	return nil
+}
+
+// CreatePage registers a fan page owned by an account.
+func (s *Store) CreatePage(ownerID, name string, at time.Time) (Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[ownerID]; !ok {
+		return Page{}, fmt.Errorf("page owner %q: %w", ownerID, ErrNotFound)
+	}
+	p := &Page{
+		ID:        s.minter.Next(ids.KindPage),
+		Name:      name,
+		OwnerID:   ownerID,
+		CreatedAt: at,
+	}
+	s.pages[p.ID] = p
+	return *p, nil
+}
+
+// Page returns the page with the given ID.
+func (s *Store) Page(id string) (Page, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[id]
+	if !ok {
+		return Page{}, fmt.Errorf("page %q: %w", id, ErrNotFound)
+	}
+	return *p, nil
+}
+
+// WriteMeta attributes a write to the app and source IP that performed it.
+type WriteMeta struct {
+	AppID    string
+	SourceIP string
+	At       time.Time
+}
+
+// CreatePost publishes a status update on the author's timeline. The author
+// may be an account or a page (pages post via their owner).
+func (s *Store) CreatePost(authorID, message string, meta WriteMeta) (Post, error) {
+	if message == "" {
+		return Post{}, ErrEmptyMessage
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	actor := authorID
+	if a, ok := s.accounts[authorID]; ok {
+		if a.Suspended {
+			return Post{}, fmt.Errorf("author %q: %w", authorID, ErrSuspended)
+		}
+	} else if p, ok := s.pages[authorID]; ok {
+		actor = p.OwnerID
+	} else {
+		return Post{}, fmt.Errorf("author %q: %w", authorID, ErrNotFound)
+	}
+	post := &Post{
+		ID:        s.minter.Next(ids.KindPost),
+		AuthorID:  authorID,
+		Message:   message,
+		CreatedAt: meta.At,
+	}
+	s.posts[post.ID] = post
+	s.postsByAuthor[authorID] = append(s.postsByAuthor[authorID], post.ID)
+	s.activity[actor] = append(s.activity[actor], Activity{
+		ActorID: actor, Verb: VerbPost, ObjectID: post.ID, TargetID: authorID,
+		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
+	})
+	return *post, nil
+}
+
+// Post returns the post with the given ID.
+func (s *Store) Post(id string) (Post, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.posts[id]
+	if !ok {
+		return Post{}, fmt.Errorf("post %q: %w", id, ErrNotFound)
+	}
+	return *p, nil
+}
+
+// PostsByAuthor returns the author's posts in creation order.
+func (s *Store) PostsByAuthor(authorID string) []Post {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idsList := s.postsByAuthor[authorID]
+	out := make([]Post, 0, len(idsList))
+	for _, id := range idsList {
+		out = append(out, *s.posts[id])
+	}
+	return out
+}
+
+// AddLike records a like by accountID on the object (post or page).
+// Likes are idempotent: liking an object twice returns ErrAlreadyLiked.
+func (s *Store) AddLike(accountID, objectID string, meta WriteMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[accountID]
+	if !ok {
+		return fmt.Errorf("liker %q: %w", accountID, ErrNotFound)
+	}
+	if a.Suspended {
+		return fmt.Errorf("liker %q: %w", accountID, ErrSuspended)
+	}
+	targetID, err := s.ownerOfLocked(objectID)
+	if err != nil {
+		return err
+	}
+	likes := s.likesByObject[objectID]
+	if likes == nil {
+		likes = make(map[string]Like)
+		s.likesByObject[objectID] = likes
+	}
+	if _, dup := likes[accountID]; dup {
+		return fmt.Errorf("account %q on object %q: %w", accountID, objectID, ErrAlreadyLiked)
+	}
+	likes[accountID] = Like{
+		AccountID: accountID, ObjectID: objectID,
+		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
+	}
+	s.likeOrder[objectID] = append(s.likeOrder[objectID], accountID)
+	s.activity[accountID] = append(s.activity[accountID], Activity{
+		ActorID: accountID, Verb: VerbLike, ObjectID: objectID, TargetID: targetID,
+		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
+	})
+	return nil
+}
+
+// RemoveLike deletes a like, as Facebook did when purging fake likes.
+func (s *Store) RemoveLike(accountID, objectID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	likes := s.likesByObject[objectID]
+	if _, ok := likes[accountID]; !ok {
+		return fmt.Errorf("account %q on object %q: %w", accountID, objectID, ErrNotLiked)
+	}
+	delete(likes, accountID)
+	order := s.likeOrder[objectID]
+	for i, id := range order {
+		if id == accountID {
+			s.likeOrder[objectID] = append(order[:i:i], order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Likes returns the likes on an object in arrival order.
+func (s *Store) Likes(objectID string) []Like {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	order := s.likeOrder[objectID]
+	likes := s.likesByObject[objectID]
+	out := make([]Like, 0, len(order))
+	for _, accountID := range order {
+		if l, ok := likes[accountID]; ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LikeCount returns the number of likes on an object.
+func (s *Store) LikeCount(objectID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.likesByObject[objectID])
+}
+
+// HasLiked reports whether the account has liked the object.
+func (s *Store) HasLiked(accountID, objectID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.likesByObject[objectID][accountID]
+	return ok
+}
+
+// AddComment records a comment on a post.
+func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (Comment, error) {
+	if message == "" {
+		return Comment{}, ErrEmptyMessage
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[accountID]
+	if !ok {
+		return Comment{}, fmt.Errorf("commenter %q: %w", accountID, ErrNotFound)
+	}
+	if a.Suspended {
+		return Comment{}, fmt.Errorf("commenter %q: %w", accountID, ErrSuspended)
+	}
+	post, ok := s.posts[postID]
+	if !ok {
+		return Comment{}, fmt.Errorf("post %q: %w", postID, ErrNotFound)
+	}
+	c := &Comment{
+		ID:        s.minter.Next(ids.KindComment),
+		PostID:    postID,
+		AccountID: accountID,
+		Message:   message,
+		AppID:     meta.AppID,
+		SourceIP:  meta.SourceIP,
+		At:        meta.At,
+	}
+	s.comments[c.ID] = c
+	s.commentsByPost[postID] = append(s.commentsByPost[postID], c.ID)
+	s.activity[accountID] = append(s.activity[accountID], Activity{
+		ActorID: accountID, Verb: VerbComment, ObjectID: c.ID, TargetID: post.AuthorID,
+		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
+	})
+	return *c, nil
+}
+
+// Comments returns the comments on a post in creation order.
+func (s *Store) Comments(postID string) []Comment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idsList := s.commentsByPost[postID]
+	out := make([]Comment, 0, len(idsList))
+	for _, id := range idsList {
+		out = append(out, *s.comments[id])
+	}
+	return out
+}
+
+// ActivityLog returns the account's outgoing activity in chronological
+// (insertion) order.
+func (s *Store) ActivityLog(accountID string) []Activity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log := s.activity[accountID]
+	out := make([]Activity, len(log))
+	copy(out, log)
+	return out
+}
+
+// ActivitySince returns the account's outgoing activity at or after t.
+func (s *Store) ActivitySince(accountID string, t time.Time) []Activity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Activity
+	for _, act := range s.activity[accountID] {
+		if !act.At.Before(t) {
+			out = append(out, act)
+		}
+	}
+	return out
+}
+
+// ownerOfLocked resolves the owner (account or page) of a likeable object.
+// Callers must hold s.mu.
+func (s *Store) ownerOfLocked(objectID string) (string, error) {
+	if p, ok := s.posts[objectID]; ok {
+		return p.AuthorID, nil
+	}
+	if _, ok := s.pages[objectID]; ok {
+		return objectID, nil
+	}
+	if _, ok := s.accounts[objectID]; ok {
+		// Liking a profile is modelled as liking the account object itself
+		// (the paper observes honeypots liking owners' profile pictures).
+		return objectID, nil
+	}
+	return "", fmt.Errorf("object %q: %w", objectID, ErrInvalidReference)
+}
+
+// OwnerOf resolves the owner of a likeable object.
+func (s *Store) OwnerOf(objectID string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ownerOfLocked(objectID)
+}
+
+// Stats summarises store contents; used by experiment reports.
+type Stats struct {
+	Accounts, Pages, Posts, Comments, Likes int
+}
+
+// Stats returns aggregate counts.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Accounts: len(s.accounts),
+		Pages:    len(s.pages),
+		Posts:    len(s.posts),
+		Comments: len(s.comments),
+	}
+	for _, likes := range s.likesByObject {
+		st.Likes += len(likes)
+	}
+	return st
+}
+
+// AccountIDs returns all account IDs in sorted order; used by tests and
+// deterministic sampling.
+func (s *Store) AccountIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.accounts))
+	for id := range s.accounts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

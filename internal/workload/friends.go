@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// BuildFriendGraph wires friendships among every account registered so
+// far (collusion members, honeypots, organic users), giving each account
+// approximately avgDegree friends. The generator uses a random-graph
+// model with a small-world bias: half of each account's edges go to
+// nearby accounts in creation order (communities), half anywhere.
+//
+// The friend graph powers the Section 8 extension experiments: leaked
+// tokens with user_friends expose members' social circles, and malware
+// propagates along these edges.
+func (s *Scenario) BuildFriendGraph(avgDegree int, seed int64) int {
+	ids := s.Platform.Graph.AccountIDs()
+	if len(ids) < 2 || avgDegree <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := 0
+	// Each account initiates avgDegree/2 edges so the expected degree is
+	// avgDegree.
+	half := avgDegree / 2
+	if half < 1 {
+		half = 1
+	}
+	for i, a := range ids {
+		for k := 0; k < half; k++ {
+			var j int
+			if k%2 == 0 {
+				// Community edge: within a window of ±25 positions.
+				offset := rng.Intn(50) - 25
+				j = i + offset
+				if j < 0 || j >= len(ids) || j == i {
+					continue
+				}
+			} else {
+				j = rng.Intn(len(ids))
+				if j == i {
+					continue
+				}
+			}
+			if err := s.Platform.Graph.AddFriendship(a, ids[j]); err == nil {
+				edges++
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/socialgraph"
+)
+
+// TestAppSuspensionArmsRace plays out the reason the paper declined to
+// suspend exploited applications: the network simply switches to another
+// susceptible app and recovers as members resubmit fresh tokens.
+func TestAppSuspensionArmsRace(t *testing.T) {
+	s, err := BuildScenario(Options{
+		Scale:      2000,
+		MinMembers: 80,
+		Networks:   []string{"mg-likers.com"},
+		Seed:       8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := s.Networks[0]
+	member := ni.Members[0]
+	post := func() socialgraph.Post {
+		p, err := s.Platform.Graph.CreatePost(member.ID, "target", socialgraph.WriteMeta{At: s.Clock.Now()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Baseline delivery works.
+	if d, err := ni.Net.RequestLikes(member.ID, post().ID, ""); err != nil || d == 0 {
+		t.Fatalf("baseline: %d, %v", d, err)
+	}
+
+	// The platform suspends HTC Sense: pooled tokens die on use.
+	htc := s.Apps[AppHTCSense]
+	if err := s.Platform.Apps.SetSuspended(htc.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := ni.Net.RequestLikes(member.ID, post().ID, ""); d != 0 {
+		t.Fatalf("delivered %d through a suspended app", d)
+	}
+
+	// The operator switches to Nokia Account; returning members resubmit.
+	if err := ni.SwitchApp("nope"); err == nil {
+		t.Fatal("unknown app switch accepted")
+	}
+	if err := ni.SwitchApp(AppNokiaAccount); err != nil {
+		t.Fatal(err)
+	}
+	if err := ni.ResubmitReturning(len(ni.Members)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ni.Net.RequestLikes(member.ID, post().ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("network did not recover after switching apps")
+	}
+	// The recovered likes are attributed to the new app.
+	nokia := s.Apps[AppNokiaAccount]
+	p := post()
+	if _, err := ni.Net.RequestLikes(member.ID, p.ID, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s.Platform.Graph.Likes(p.ID) {
+		if l.AppID != nokia.ID {
+			t.Fatalf("like via app %s, want %s", l.AppID, nokia.ID)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+)
+
+// BuildTop100 populates the registry with a synthetic top-100 application
+// leaderboard matching the composition the paper measured (Sec. 2.2):
+// 55 susceptible applications (client-side flow enabled, no secret
+// required, write permission approved), of which the 9 Table 1 apps are
+// issued long-term tokens and 46 short-term tokens; the remaining 45 apps
+// are secure — either client-side flow disabled or appsecret_proof
+// required. MAUs follow a Zipf-like tail below the named apps. The
+// returned slice is in leaderboard (descending MAU) order.
+func BuildTop100(reg *apps.Registry, seed int64) []apps.App {
+	rng := rand.New(rand.NewSource(seed))
+	writeScope := []string{apps.PermPublicProfile, apps.PermEmail, apps.PermPublishActions}
+
+	var out []apps.App
+	register := func(name string, mau int, clientFlow, requireSecret bool, lifetime apps.TokenLifetime) {
+		app := reg.Register(apps.Config{
+			Name:              name,
+			RedirectURI:       "https://" + sanitizeHost(name) + ".example/callback",
+			ClientFlowEnabled: clientFlow,
+			RequireAppSecret:  requireSecret,
+			Lifetime:          lifetime,
+			Permissions:       writeScope,
+			MAU:               mau,
+			DAU:               mau / 10,
+		})
+		out = append(out, app)
+	}
+
+	// The nine Table 1 apps: susceptible with long-term tokens.
+	for _, spec := range Table1Apps() {
+		register(spec.Name, spec.MAU, true, false, apps.LongTerm)
+	}
+	// 46 susceptible apps with short-term tokens.
+	for i := 0; i < 46; i++ {
+		mau := 20_000_000/(i+2) + rng.Intn(100_000)
+		register(fmt.Sprintf("Susceptible Game %02d", i+1), mau, true, false, apps.ShortTerm)
+	}
+	// 45 secure apps: half disable the client-side flow, half require the
+	// application secret on API calls.
+	for i := 0; i < 45; i++ {
+		mau := 30_000_000/(i+2) + rng.Intn(100_000)
+		if i%2 == 0 {
+			register(fmt.Sprintf("Secure Utility %02d", i+1), mau, false, false, apps.LongTerm)
+		} else {
+			register(fmt.Sprintf("Secure Utility %02d", i+1), mau, true, true, apps.LongTerm)
+		}
+	}
+	return reg.Top(100)
+}
