@@ -413,6 +413,72 @@ func BenchmarkCollusionDelivery(b *testing.B) {
 	b.ReportMetric(float64(likes)/float64(b.N), "likes/request")
 }
 
+// milkingBenchNetworks is the fleet used by the sequential/parallel
+// milking pair: enough networks that a worker pool has real fan-out,
+// all chosen without a DailyRequestLimit so hourly rounds can run for
+// an arbitrary number of iterations.
+var milkingBenchNetworks = []string{
+	"mg-likers.com", "fast-liker.com", "autolikesgroups.com", "4liker.com",
+	"f8-autoliker.com", "myliker.com", "kdliker.com", "oneliker.com",
+}
+
+func newMilkingBenchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	study, err := core.NewStudy(workload.Options{
+		Scale:      4000,
+		MinMembers: 60,
+		Networks:   milkingBenchNetworks,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return study
+}
+
+// BenchmarkMilkingSequential milks every network of the fleet one after
+// another, one round per iteration — the pre-sharding driver. Compare
+// against BenchmarkMilkingParallel to see what lock striping plus the
+// worker pool buys on a multi-core runner.
+func BenchmarkMilkingSequential(b *testing.B) {
+	study := newMilkingBenchStudy(b)
+	b.ResetTimer()
+	likes := 0
+	for i := 0; i < b.N; i++ {
+		for _, res := range study.MilkAll(1) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			likes += res.Delivered
+		}
+		study.Scenario.Clock.Advance(time.Hour)
+	}
+	b.ReportMetric(float64(likes)/float64(b.N), "likes/round")
+}
+
+// BenchmarkMilkingParallel is the same workload through MilkAllParallel:
+// all networks milked concurrently within each round by a
+// GOMAXPROCS-bounded worker pool against the sharded store.
+func BenchmarkMilkingParallel(b *testing.B) {
+	study := newMilkingBenchStudy(b)
+	b.ResetTimer()
+	likes := 0
+	for i := 0; i < b.N; i++ {
+		for _, res := range study.MilkAllParallel(1, 0) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			likes += res.Delivered
+		}
+		study.Scenario.Clock.Advance(time.Hour)
+	}
+	b.ReportMetric(float64(likes)/float64(b.N), "likes/round")
+	acq, cont := study.Scenario.Platform.Graph.Contention().Totals()
+	if acq > 0 {
+		b.ReportMetric(float64(cont)/float64(acq), "contended-frac")
+	}
+}
+
 func BenchmarkHTTPGraphAPILike(b *testing.B) {
 	w := newBenchWorld(b, 1)
 	srv := w.p.ServeHTTPTest()

@@ -1,0 +1,165 @@
+package core
+
+// Tests for the parallel milking driver. Two properties matter:
+//
+//  1. Equivalence — per network, a parallel campaign delivers the same
+//     likes, observes the same likers, and feeds the estimators the same
+//     evidence as the sequential MilkAll. Post IDs are minted from a
+//     global counter so their numeric values depend on interleaving, but
+//     every per-network observable must match.
+//  2. Race cleanliness — many workers hammering the sharded store through
+//     real honeypots must survive `go test -race` (the CI workflow runs
+//     this package with the detector on).
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var parallelNets = []string{
+	"mg-likers.com", "fast-liker.com", "djliker.com", "monkeyliker.com",
+}
+
+func parallelStudy(t *testing.T, seed int64) *Study {
+	t.Helper()
+	s, err := NewStudy(workload.Options{
+		Scale:      5000,
+		MinMembers: 60,
+		Networks:   parallelNets,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// byNetwork folds milk results into per-network delivery totals and the
+// union of likers seen, which are the interleaving-independent
+// observables of a campaign.
+func byNetwork(results []MilkResult) (delivered map[string]int, likers map[string][]string) {
+	delivered = make(map[string]int)
+	likers = make(map[string][]string)
+	for _, r := range results {
+		delivered[r.Network] += r.Delivered
+		likers[r.Network] = append(likers[r.Network], r.Likers...)
+	}
+	for _, l := range likers {
+		sort.Strings(l)
+	}
+	return delivered, likers
+}
+
+func TestMilkAllParallelMatchesSequential(t *testing.T) {
+	const rounds = 3
+	seq := parallelStudy(t, 41)
+	par := parallelStudy(t, 41)
+
+	seqRes := seq.MilkAll(rounds)
+	parRes := par.MilkAllParallel(rounds, 4)
+
+	if len(seqRes) != len(parRes) {
+		t.Fatalf("result count: sequential %d, parallel %d", len(seqRes), len(parRes))
+	}
+	// Round structure: the i-th result of each round targets the same
+	// network in both drivers.
+	for i := range seqRes {
+		if seqRes[i].Network != parRes[i].Network {
+			t.Fatalf("result %d network: sequential %q, parallel %q", i, seqRes[i].Network, parRes[i].Network)
+		}
+		if parRes[i].Err != nil {
+			t.Fatalf("parallel round failed: %+v", parRes[i])
+		}
+		if seqRes[i].Err != nil {
+			t.Fatalf("sequential round failed: %+v", seqRes[i])
+		}
+	}
+	seqDel, seqLikers := byNetwork(seqRes)
+	parDel, parLikers := byNetwork(parRes)
+	for _, net := range parallelNets {
+		if seqDel[net] != parDel[net] {
+			t.Errorf("%s delivered: sequential %d, parallel %d", net, seqDel[net], parDel[net])
+		}
+		a, b := seqLikers[net], parLikers[net]
+		if len(a) != len(b) {
+			t.Errorf("%s likers: sequential %d, parallel %d", net, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s liker set diverges at %d: %q vs %q", net, i, a[i], b[i])
+				break
+			}
+		}
+		// The estimators saw the same evidence, so the paper's membership
+		// estimates must agree exactly.
+		se, pe := seq.Estimators[net], par.Estimators[net]
+		if se.PostsSubmitted() != pe.PostsSubmitted() || se.TotalLikes() != pe.TotalLikes() {
+			t.Errorf("%s estimator fed differently: %d/%d posts, %d/%d likes",
+				net, se.PostsSubmitted(), pe.PostsSubmitted(), se.TotalLikes(), pe.TotalLikes())
+		}
+		if sm, pm := se.MembershipEstimate(), pe.MembershipEstimate(); sm != pm {
+			t.Errorf("%s membership estimate: sequential %v, parallel %v", net, sm, pm)
+		}
+	}
+	// The invalidation backlog is a set of accounts, identical either way.
+	if sp, pp := seq.Countermeasures().PendingMilked(), par.Countermeasures().PendingMilked(); sp != pp {
+		t.Errorf("PendingMilked: sequential %d, parallel %d", sp, pp)
+	}
+}
+
+func TestMilkAllParallelWorkerClamp(t *testing.T) {
+	s := parallelStudy(t, 7)
+	// workers <= 0 falls back to GOMAXPROCS, workers > networks is
+	// clamped; both must still produce one result per network per round.
+	for _, workers := range []int{0, -3, 1, 64} {
+		res := s.MilkAllParallel(1, workers)
+		if len(res) != len(parallelNets) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res), len(parallelNets))
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: %+v", workers, r)
+			}
+		}
+	}
+}
+
+func TestMilkAllParallelStress(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 3
+	}
+	s := parallelStudy(t, 99)
+	// Deploy the full countermeasure chain first so the parallel rounds
+	// also exercise the policy middleware and invalidator under
+	// concurrency, then interleave invalidation sweeps between bursts.
+	s.Countermeasures().SetTokenRateLimit(1000, 24*60*60*1e9)
+	res := s.MilkAllParallel(rounds, len(parallelNets))
+	if len(res) != rounds*len(parallelNets) {
+		t.Fatalf("results = %d, want %d", len(res), rounds*len(parallelNets))
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("round failed: %+v", r)
+		}
+		if r.Delivered == 0 {
+			t.Fatalf("network %s delivered nothing", r.Network)
+		}
+	}
+	s.Countermeasures().InvalidateMilkedAll()
+	// Honeypots whose tokens were swept must recover via the rejoin path
+	// even when every network retries at once.
+	res = s.MilkAllParallel(1, len(parallelNets))
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("post-sweep round failed: %+v", r)
+		}
+	}
+	graph := s.Scenario.Platform.Graph
+	if acq, _ := graph.Contention().Totals(); acq == 0 {
+		t.Fatal("sharded store recorded no lock acquisitions during milking")
+	}
+}

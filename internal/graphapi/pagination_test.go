@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"sync"
 	"testing"
 
 	"repro/internal/apps"
@@ -96,6 +97,87 @@ func TestLikesEdgePagination(t *testing.T) {
 	}
 	if len(seen) != 60 {
 		t.Fatalf("total likers paged = %d", len(seen))
+	}
+}
+
+func TestLikesEdgeCursorStableAcrossShards(t *testing.T) {
+	// Likers live on many stripes of the sharded store and are inserted
+	// concurrently, but the likes edge must still present one stable
+	// arrival order: offset cursors are only sound if two full walks see
+	// the same sequence, and that sequence is the store's crawl order.
+	f, srv := newHTTPFixture(t)
+	tok := httpToken(t, f, srv)
+	const n = 64
+	tokens := make([]string, n)
+	for i := range tokens {
+		u := f.graph.CreateAccount(fmt.Sprintf("shard-pager-%d", i), "IN", t0)
+		res, err := f.oauth.Authorize(oauthsim.AuthorizeRequest{
+			AppID:        f.app.ID,
+			RedirectURI:  f.app.RedirectURI,
+			ResponseType: oauthsim.ResponseToken,
+			Scopes:       []string{apps.PermPublishActions},
+			AccountID:    u.ID,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens[i] = res.AccessToken
+	}
+	var wg sync.WaitGroup
+	for _, tk := range tokens {
+		wg.Add(1)
+		go func(tk string) {
+			defer wg.Done()
+			if err := f.api.Like(CallContext{AccessToken: tk}, f.post.ID); err != nil {
+				t.Errorf("Like: %v", err)
+			}
+		}(tk)
+	}
+	wg.Wait()
+
+	walk := func() []string {
+		var out []string
+		after := ""
+		for {
+			params := url.Values{"limit": {"7"}}
+			if after != "" {
+				params.Set("after", after)
+			}
+			page := getLikesPage(t, srv, f.post.ID, tok, params)
+			for _, d := range page.Data {
+				out = append(out, d.ID)
+			}
+			if page.Paging == nil {
+				return out
+			}
+			after = page.Paging.Cursors.After
+		}
+	}
+	first, second := walk(), walk()
+	if len(first) != n {
+		t.Fatalf("walk saw %d likers, want %d", len(first), n)
+	}
+	seen := map[string]bool{}
+	for _, id := range first {
+		if seen[id] {
+			t.Fatalf("duplicate liker %s in paged walk", id)
+		}
+		seen[id] = true
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("walks diverge at %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+	// The paged order is exactly the store's crawl order.
+	likes := f.graph.Likes(f.post.ID)
+	if len(likes) != n {
+		t.Fatalf("store has %d likes", len(likes))
+	}
+	for i, l := range likes {
+		if first[i] != l.AccountID {
+			t.Fatalf("page order diverges from crawl order at %d: %q vs %q", i, first[i], l.AccountID)
+		}
 	}
 }
 

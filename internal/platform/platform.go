@@ -53,8 +53,18 @@ type Platform struct {
 }
 
 // New assembles a platform. internet may be nil to skip AS resolution.
+// The social graph is sharded with the GOMAXPROCS-scaled default stripe
+// count; use NewWithShards to pin it.
 func New(clock simclock.Clock, internet *netsim.Internet) *Platform {
-	graph := socialgraph.New()
+	return NewWithShards(clock, internet, 0)
+}
+
+// NewWithShards assembles a platform whose social graph uses the given
+// number of lock stripes (rounded down to a power of two; <= 0 selects
+// the default). Experiments sweep this to measure how striping changes
+// contention under parallel milking.
+func NewWithShards(clock simclock.Clock, internet *netsim.Internet, shards int) *Platform {
+	graph := socialgraph.NewWithShards(shards)
 	registry := apps.NewRegistry()
 	oauth := oauthsim.NewServer(clock, registry, graph)
 	api := graphapi.New(clock, graph, oauth, registry, internet, graphapi.NewChain())

@@ -123,6 +123,48 @@ func TestClientTransportsEquivalent(t *testing.T) {
 	}
 }
 
+func TestNewWithShardsPinsStripeCount(t *testing.T) {
+	clock := simclock.NewSimulated(t0)
+	for _, tc := range []struct{ in, want int }{{1, 1}, {8, 8}, {13, 16}} {
+		p := NewWithShards(clock, nil, tc.in)
+		if got := p.Graph.ShardCount(); got != tc.want {
+			t.Fatalf("NewWithShards(%d): ShardCount = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := New(clock, nil).Graph.ShardCount(); got != socialgraph.New().ShardCount() {
+		t.Fatalf("New: ShardCount = %d, want store default", got)
+	}
+	// A pinned single-stripe platform must behave identically end to end:
+	// run the full authorize→like→crawl path against it.
+	p := NewWithShards(clock, nil, 1)
+	app := p.Apps.Register(apps.Config{
+		Name:              "Shard Probe",
+		RedirectURI:       "https://probe.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	member := p.Graph.CreateAccount("member", "IN", t0)
+	author := p.Graph.CreateAccount("author", "IN", t0)
+	post, err := p.Graph.CreatePost(author.ID, "status", socialgraph.WriteMeta{At: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewLocalClient(p)
+	tok, err := client.AuthorizeImplicit(app.ID, app.RedirectURI, member.ID,
+		[]string{apps.PermPublishActions, apps.PermPublicProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Like(tok, post.ID, ""); err != nil {
+		t.Fatal(err)
+	}
+	likes, err := client.LikesOf(tok, post.ID)
+	if err != nil || len(likes) != 1 || likes[0].AccountID != member.ID {
+		t.Fatalf("likes = %+v, err = %v", likes, err)
+	}
+}
+
 func TestClientErrorsPropagate(t *testing.T) {
 	w := newWorld(t)
 	for name, client := range clientsUnderTest(t, w) {

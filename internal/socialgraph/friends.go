@@ -10,6 +10,12 @@ import (
 // enabling personal-information harvesting and malware propagation along
 // friend edges; the extension experiments reproduce those attacks, so the
 // substrate models undirected friendships.
+//
+// Edges are stored symmetrically, one direction per endpoint's shard.
+// AddFriendship write-locks both endpoint shards in ascending index order
+// (the store-wide lock-ordering rule), so the two directions appear
+// atomically and the duplicate check cannot race with a concurrent add of
+// the reverse edge.
 
 // AddFriendship records an undirected friend edge between two accounts.
 // Adding an existing edge or a self-edge is an error.
@@ -17,38 +23,37 @@ func (s *Store) AddFriendship(a, b string) error {
 	if a == b {
 		return fmt.Errorf("socialgraph: self-friendship for %q: %w", a, ErrInvalidReference)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.accounts[a]; !ok {
+	unlock := s.lockOrdered(a, b)
+	defer unlock()
+	shA := s.shardFor(a)
+	shB := s.shardFor(b)
+	if _, ok := shA.accounts[a]; !ok {
 		return fmt.Errorf("account %q: %w", a, ErrNotFound)
 	}
-	if _, ok := s.accounts[b]; !ok {
+	if _, ok := shB.accounts[b]; !ok {
 		return fmt.Errorf("account %q: %w", b, ErrNotFound)
 	}
-	if s.friends == nil {
-		s.friends = make(map[string]map[string]bool)
-	}
-	if s.friends[a][b] {
+	if shA.friends[a][b] {
 		return fmt.Errorf("socialgraph: %q and %q already friends: %w", a, b, ErrAlreadyLiked)
 	}
-	link := func(x, y string) {
-		set := s.friends[x]
+	link := func(sh *shard, x, y string) {
+		set := sh.friends[x]
 		if set == nil {
 			set = make(map[string]bool)
-			s.friends[x] = set
+			sh.friends[x] = set
 		}
 		set[y] = true
 	}
-	link(a, b)
-	link(b, a)
+	link(shA, a, b)
+	link(shB, b, a)
 	return nil
 }
 
 // Friends returns the account's friend IDs in sorted order.
 func (s *Store) Friends(accountID string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := s.friends[accountID]
+	sh := s.rlock(accountID)
+	defer sh.mu.RUnlock()
+	set := sh.friends[accountID]
 	out := make([]string, 0, len(set))
 	for id := range set {
 		out = append(out, id)
@@ -59,14 +64,14 @@ func (s *Store) Friends(accountID string) []string {
 
 // FriendCount returns the number of friends of the account.
 func (s *Store) FriendCount(accountID string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.friends[accountID])
+	sh := s.rlock(accountID)
+	defer sh.mu.RUnlock()
+	return len(sh.friends[accountID])
 }
 
 // AreFriends reports whether an edge exists.
 func (s *Store) AreFriends(a, b string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.friends[a][b]
+	sh := s.rlock(a)
+	defer sh.mu.RUnlock()
+	return sh.friends[a][b]
 }

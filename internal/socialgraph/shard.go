@@ -1,0 +1,188 @@
+package socialgraph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Shard layout. Every object class is routed to a stripe by the FNV-1a
+// hash of its primary key:
+//
+//   - accounts, activity logs, per-author post lists, and friend
+//     adjacency sets live in the shard of the account ID;
+//   - pages live in the shard of the page ID;
+//   - posts live in the shard of the post ID;
+//   - likes (set + arrival order) live in the shard of the liked object;
+//   - comments (records + per-post order) live in the shard of the
+//     commented post, so a crawl of a post's comments is one stripe.
+//
+// Writes that span stripes (a like touches the liker's account shard and
+// the object's shard; a friendship touches both endpoints) take every
+// involved stripe write-lock in ascending shard-index order, which makes
+// the locking deadlock-free by construction. Reads that span all stripes
+// (Stats, AccountIDs) compose per-shard snapshots and are not a global
+// atomic view — identical to the reference store when driven
+// sequentially, and monotonically consistent under concurrency because
+// no object is ever deleted.
+
+// shard is one lock stripe of the store. Field meanings match the
+// reference store's maps exactly; each shard holds only the keys that
+// hash to it.
+type shard struct {
+	mu             sync.RWMutex
+	accounts       map[string]*Account
+	pages          map[string]*Page
+	posts          map[string]*Post
+	comments       map[string]*Comment
+	likesByObject  map[string]map[string]Like
+	likeOrder      map[string][]string
+	postsByAuthor  map[string][]string
+	commentsByPost map[string][]string
+	activity       map[string][]Activity
+	friends        map[string]map[string]bool
+}
+
+func newShard() *shard {
+	return &shard{
+		accounts:       make(map[string]*Account),
+		pages:          make(map[string]*Page),
+		posts:          make(map[string]*Post),
+		comments:       make(map[string]*Comment),
+		likesByObject:  make(map[string]map[string]Like),
+		likeOrder:      make(map[string][]string),
+		postsByAuthor:  make(map[string][]string),
+		commentsByPost: make(map[string][]string),
+		activity:       make(map[string][]Activity),
+		friends:        make(map[string]map[string]bool),
+	}
+}
+
+// FNV-1a, inlined to keep routing allocation-free on the hot path.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv32a(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// Shard-count bounds. The default scales with GOMAXPROCS (4 stripes per
+// P keeps the contended fraction low even when every P hammers the same
+// few objects) and is clamped to a power of two so routing is a mask.
+const (
+	minShards = 1
+	maxShards = 1024
+)
+
+// defaultShardCount returns the GOMAXPROCS-scaled power-of-two stripe
+// count used by New.
+func defaultShardCount() int {
+	n := nextPowerOfTwo(4 * runtime.GOMAXPROCS(0))
+	if n < 8 {
+		n = 8
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+}
+
+func nextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
+	}
+	return p
+}
+
+// shardIndex routes an ID to a stripe.
+func (s *Store) shardIndex(id string) int {
+	return int(fnv32a(id) & s.mask)
+}
+
+// shardFor returns the stripe owning id.
+func (s *Store) shardFor(id string) *shard {
+	return s.shards[s.shardIndex(id)]
+}
+
+// rlockIdx read-locks stripe i, recording lock pressure.
+func (s *Store) rlockIdx(i int) *shard {
+	sh := s.shards[i]
+	if sh.mu.TryRLock() {
+		s.contention.Record(i, false)
+	} else {
+		s.contention.Record(i, true)
+		sh.mu.RLock()
+	}
+	return sh
+}
+
+// lockIdx write-locks stripe i, recording lock pressure.
+func (s *Store) lockIdx(i int) *shard {
+	sh := s.shards[i]
+	if sh.mu.TryLock() {
+		s.contention.Record(i, false)
+	} else {
+		s.contention.Record(i, true)
+		sh.mu.Lock()
+	}
+	return sh
+}
+
+// rlock read-locks the stripe owning id.
+func (s *Store) rlock(id string) *shard {
+	return s.rlockIdx(s.shardIndex(id))
+}
+
+// lock write-locks the stripe owning id.
+func (s *Store) lock(id string) *shard {
+	return s.lockIdx(s.shardIndex(id))
+}
+
+// lockOrdered write-locks the stripes owning the given IDs in ascending
+// shard-index order (duplicates collapse) and returns an unlock function
+// releasing them in reverse order. Ascending acquisition across every
+// multi-stripe write is the store's one lock-ordering rule, and it makes
+// cross-shard operations (likes, comments, friendship edges) atomic
+// without a global lock.
+func (s *Store) lockOrdered(ids ...string) func() {
+	var idx [3]int
+	n := 0
+	for _, id := range ids {
+		i := s.shardIndex(id)
+		dup := false
+		for _, seen := range idx[:n] {
+			if seen == i {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			idx[n] = i
+			n++
+		}
+	}
+	order := idx[:n]
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, i := range order {
+		s.lockIdx(i)
+	}
+	return func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			s.shards[order[i]].mu.Unlock()
+		}
+	}
+}

@@ -14,16 +14,24 @@
 //   - each account has an activity log of its outgoing actions, which the
 //     honeypots crawl to observe how collusion networks spend their tokens
 //     (Table 4 "outgoing activities", Figure 7).
+//
+// The store is lock-striped: state is partitioned across power-of-two
+// shards keyed by the FNV-1a hash of each object's primary ID, so
+// simulated Graph API traffic from many goroutines (the parallel milking
+// driver, the organic background workload) scales with cores instead of
+// serializing on one mutex. See shard.go for the routing and lock-ordering
+// rules, and reference.go for the single-lock oracle the differential
+// tests check this implementation against.
 package socialgraph
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/metrics"
 )
 
 // Errors returned by store operations.
@@ -102,65 +110,70 @@ type Activity struct {
 	At       time.Time
 }
 
-// Store is the in-memory social graph. The zero value is not usable; use
-// New. Store is safe for concurrent use.
+// Store is the in-memory social graph, lock-striped across shards. The
+// zero value is not usable; use New or NewWithShards. Store is safe for
+// concurrent use, and when driven sequentially is observationally
+// identical to the single-lock reference implementation (enforced by the
+// differential tests).
 type Store struct {
-	mu       sync.RWMutex
-	minter   *ids.Minter
-	accounts map[string]*Account
-	pages    map[string]*Page
-	posts    map[string]*Post
-	comments map[string]*Comment
-	// likesByObject[objectID][accountID] = like
-	likesByObject map[string]map[string]Like
-	// likeOrder preserves insertion order of likes per object for crawling.
-	likeOrder map[string][]string
-	// postsByAuthor[authorID] = post IDs in creation order
-	postsByAuthor map[string][]string
-	// commentsByPost[postID] = comment IDs in creation order
-	commentsByPost map[string][]string
-	// activity[accountID] = outgoing activity log
-	activity map[string][]Activity
-	// friends[accountID] = set of friend account IDs (undirected edges,
-	// stored symmetrically); allocated lazily by AddFriendship.
-	friends map[string]map[string]bool
+	minter     *ids.Minter
+	shards     []*shard
+	mask       uint32
+	contention *metrics.ShardContention
 }
 
-// New returns an empty Store.
-func New() *Store {
+// New returns an empty Store with the default GOMAXPROCS-scaled shard
+// count.
+func New() *Store { return NewWithShards(0) }
+
+// NewWithShards returns an empty Store striped across n shards. n is
+// rounded up to a power of two and clamped to [1, 1024]; n <= 0 selects
+// the default.
+func NewWithShards(n int) *Store {
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	n = nextPowerOfTwo(n)
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = newShard()
+	}
 	return &Store{
-		minter:         ids.NewMinter(),
-		accounts:       make(map[string]*Account),
-		pages:          make(map[string]*Page),
-		posts:          make(map[string]*Post),
-		comments:       make(map[string]*Comment),
-		likesByObject:  make(map[string]map[string]Like),
-		likeOrder:      make(map[string][]string),
-		postsByAuthor:  make(map[string][]string),
-		commentsByPost: make(map[string][]string),
-		activity:       make(map[string][]Activity),
+		minter:     ids.NewMinter(),
+		shards:     shards,
+		mask:       uint32(n - 1),
+		contention: metrics.NewShardContention(n),
 	}
 }
 
+// ShardCount returns the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// Contention returns the store's per-shard lock-pressure counters. Every
+// lock acquisition is recorded along with whether it had to wait, so the
+// experiment harness can report whether the stripe count matches the
+// offered load.
+func (s *Store) Contention() *metrics.ShardContention { return s.contention }
+
 // CreateAccount registers a new account and returns it.
 func (s *Store) CreateAccount(name, country string, at time.Time) Account {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	a := &Account{
 		ID:        s.minter.Next(ids.KindAccount),
 		Name:      name,
 		Country:   country,
 		CreatedAt: at,
 	}
-	s.accounts[a.ID] = a
+	sh := s.lock(a.ID)
+	sh.accounts[a.ID] = a
+	sh.mu.Unlock()
 	return *a
 }
 
 // Account returns the account with the given ID.
 func (s *Store) Account(id string) (Account, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.accounts[id]
+	sh := s.rlock(id)
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	if !ok {
 		return Account{}, fmt.Errorf("account %q: %w", id, ErrNotFound)
 	}
@@ -169,17 +182,21 @@ func (s *Store) Account(id string) (Account, error) {
 
 // AccountCount returns the number of registered accounts.
 func (s *Store) AccountCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.accounts)
+	n := 0
+	for i := range s.shards {
+		sh := s.rlockIdx(i)
+		n += len(sh.accounts)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // SetSuspended marks an account suspended or reinstated. Suspended accounts
 // cannot perform writes.
 func (s *Store) SetSuspended(id string, suspended bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[id]
+	sh := s.lock(id)
+	defer sh.mu.Unlock()
+	a, ok := sh.accounts[id]
 	if !ok {
 		return fmt.Errorf("account %q: %w", id, ErrNotFound)
 	}
@@ -189,9 +206,12 @@ func (s *Store) SetSuspended(id string, suspended bool) error {
 
 // CreatePage registers a fan page owned by an account.
 func (s *Store) CreatePage(ownerID, name string, at time.Time) (Page, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.accounts[ownerID]; !ok {
+	// Existence is a stable property (accounts are never deleted), so the
+	// owner check does not need to be atomic with the page insert.
+	ownerShard := s.rlock(ownerID)
+	_, ok := ownerShard.accounts[ownerID]
+	ownerShard.mu.RUnlock()
+	if !ok {
 		return Page{}, fmt.Errorf("page owner %q: %w", ownerID, ErrNotFound)
 	}
 	p := &Page{
@@ -200,15 +220,17 @@ func (s *Store) CreatePage(ownerID, name string, at time.Time) (Page, error) {
 		OwnerID:   ownerID,
 		CreatedAt: at,
 	}
-	s.pages[p.ID] = p
+	sh := s.lock(p.ID)
+	sh.pages[p.ID] = p
+	sh.mu.Unlock()
 	return *p, nil
 }
 
 // Page returns the page with the given ID.
 func (s *Store) Page(id string) (Page, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.pages[id]
+	sh := s.rlock(id)
+	defer sh.mu.RUnlock()
+	p, ok := sh.pages[id]
 	if !ok {
 		return Page{}, fmt.Errorf("page %q: %w", id, ErrNotFound)
 	}
@@ -224,42 +246,60 @@ type WriteMeta struct {
 
 // CreatePost publishes a status update on the author's timeline. The author
 // may be an account or a page (pages post via their owner).
+//
+// The post ID's shard is unknown until the ID is minted, and minting must
+// happen only after validation so the ID stream matches the reference
+// store; the write is therefore phased — validate, mint, insert the post
+// record, then publish it in the author's index and the actor's activity
+// log — with the post record inserted first so every ID reachable through
+// PostsByAuthor always resolves.
 func (s *Store) CreatePost(authorID, message string, meta WriteMeta) (Post, error) {
 	if message == "" {
 		return Post{}, ErrEmptyMessage
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	actor := authorID
-	if a, ok := s.accounts[authorID]; ok {
+	authorShard := s.rlock(authorID)
+	if a, ok := authorShard.accounts[authorID]; ok {
 		if a.Suspended {
+			authorShard.mu.RUnlock()
 			return Post{}, fmt.Errorf("author %q: %w", authorID, ErrSuspended)
 		}
-	} else if p, ok := s.pages[authorID]; ok {
+	} else if p, ok := authorShard.pages[authorID]; ok {
 		actor = p.OwnerID
 	} else {
+		authorShard.mu.RUnlock()
 		return Post{}, fmt.Errorf("author %q: %w", authorID, ErrNotFound)
 	}
+	authorShard.mu.RUnlock()
+
 	post := &Post{
 		ID:        s.minter.Next(ids.KindPost),
 		AuthorID:  authorID,
 		Message:   message,
 		CreatedAt: meta.At,
 	}
-	s.posts[post.ID] = post
-	s.postsByAuthor[authorID] = append(s.postsByAuthor[authorID], post.ID)
-	s.activity[actor] = append(s.activity[actor], Activity{
+	sh := s.lock(post.ID)
+	sh.posts[post.ID] = post
+	sh.mu.Unlock()
+
+	sh = s.lock(authorID)
+	sh.postsByAuthor[authorID] = append(sh.postsByAuthor[authorID], post.ID)
+	sh.mu.Unlock()
+
+	sh = s.lock(actor)
+	sh.activity[actor] = append(sh.activity[actor], Activity{
 		ActorID: actor, Verb: VerbPost, ObjectID: post.ID, TargetID: authorID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	})
+	sh.mu.Unlock()
 	return *post, nil
 }
 
 // Post returns the post with the given ID.
 func (s *Store) Post(id string) (Post, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.posts[id]
+	sh := s.rlock(id)
+	defer sh.mu.RUnlock()
+	p, ok := sh.posts[id]
 	if !ok {
 		return Post{}, fmt.Errorf("post %q: %w", id, ErrNotFound)
 	}
@@ -268,12 +308,16 @@ func (s *Store) Post(id string) (Post, error) {
 
 // PostsByAuthor returns the author's posts in creation order.
 func (s *Store) PostsByAuthor(authorID string) []Post {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	idsList := s.postsByAuthor[authorID]
+	sh := s.rlock(authorID)
+	idsList := append([]string(nil), sh.postsByAuthor[authorID]...)
+	sh.mu.RUnlock()
 	out := make([]Post, 0, len(idsList))
 	for _, id := range idsList {
-		out = append(out, *s.posts[id])
+		psh := s.rlock(id)
+		if p, ok := psh.posts[id]; ok {
+			out = append(out, *p)
+		}
+		psh.mu.RUnlock()
 	}
 	return out
 }
@@ -281,23 +325,25 @@ func (s *Store) PostsByAuthor(authorID string) []Post {
 // AddLike records a like by accountID on the object (post or page).
 // Likes are idempotent: liking an object twice returns ErrAlreadyLiked.
 func (s *Store) AddLike(accountID, objectID string, meta WriteMeta) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[accountID]
+	unlock := s.lockOrdered(accountID, objectID)
+	defer unlock()
+	acctShard := s.shardFor(accountID)
+	objShard := s.shardFor(objectID)
+	a, ok := acctShard.accounts[accountID]
 	if !ok {
 		return fmt.Errorf("liker %q: %w", accountID, ErrNotFound)
 	}
 	if a.Suspended {
 		return fmt.Errorf("liker %q: %w", accountID, ErrSuspended)
 	}
-	targetID, err := s.ownerOfLocked(objectID)
+	targetID, err := ownerOfShard(objShard, objectID)
 	if err != nil {
 		return err
 	}
-	likes := s.likesByObject[objectID]
+	likes := objShard.likesByObject[objectID]
 	if likes == nil {
 		likes = make(map[string]Like)
-		s.likesByObject[objectID] = likes
+		objShard.likesByObject[objectID] = likes
 	}
 	if _, dup := likes[accountID]; dup {
 		return fmt.Errorf("account %q on object %q: %w", accountID, objectID, ErrAlreadyLiked)
@@ -306,8 +352,8 @@ func (s *Store) AddLike(accountID, objectID string, meta WriteMeta) error {
 		AccountID: accountID, ObjectID: objectID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	}
-	s.likeOrder[objectID] = append(s.likeOrder[objectID], accountID)
-	s.activity[accountID] = append(s.activity[accountID], Activity{
+	objShard.likeOrder[objectID] = append(objShard.likeOrder[objectID], accountID)
+	acctShard.activity[accountID] = append(acctShard.activity[accountID], Activity{
 		ActorID: accountID, Verb: VerbLike, ObjectID: objectID, TargetID: targetID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	})
@@ -316,17 +362,17 @@ func (s *Store) AddLike(accountID, objectID string, meta WriteMeta) error {
 
 // RemoveLike deletes a like, as Facebook did when purging fake likes.
 func (s *Store) RemoveLike(accountID, objectID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	likes := s.likesByObject[objectID]
+	sh := s.lock(objectID)
+	defer sh.mu.Unlock()
+	likes := sh.likesByObject[objectID]
 	if _, ok := likes[accountID]; !ok {
 		return fmt.Errorf("account %q on object %q: %w", accountID, objectID, ErrNotLiked)
 	}
 	delete(likes, accountID)
-	order := s.likeOrder[objectID]
+	order := sh.likeOrder[objectID]
 	for i, id := range order {
 		if id == accountID {
-			s.likeOrder[objectID] = append(order[:i:i], order[i+1:]...)
+			sh.likeOrder[objectID] = append(order[:i:i], order[i+1:]...)
 			break
 		}
 	}
@@ -335,10 +381,10 @@ func (s *Store) RemoveLike(accountID, objectID string) error {
 
 // Likes returns the likes on an object in arrival order.
 func (s *Store) Likes(objectID string) []Like {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	order := s.likeOrder[objectID]
-	likes := s.likesByObject[objectID]
+	sh := s.rlock(objectID)
+	defer sh.mu.RUnlock()
+	order := sh.likeOrder[objectID]
+	likes := sh.likesByObject[objectID]
 	out := make([]Like, 0, len(order))
 	for _, accountID := range order {
 		if l, ok := likes[accountID]; ok {
@@ -350,34 +396,38 @@ func (s *Store) Likes(objectID string) []Like {
 
 // LikeCount returns the number of likes on an object.
 func (s *Store) LikeCount(objectID string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.likesByObject[objectID])
+	sh := s.rlock(objectID)
+	defer sh.mu.RUnlock()
+	return len(sh.likesByObject[objectID])
 }
 
 // HasLiked reports whether the account has liked the object.
 func (s *Store) HasLiked(accountID, objectID string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.likesByObject[objectID][accountID]
+	sh := s.rlock(objectID)
+	defer sh.mu.RUnlock()
+	_, ok := sh.likesByObject[objectID][accountID]
 	return ok
 }
 
-// AddComment records a comment on a post.
+// AddComment records a comment on a post. Comment records are co-located
+// with their post's shard, so crawling a post's comments touches one
+// stripe.
 func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (Comment, error) {
 	if message == "" {
 		return Comment{}, ErrEmptyMessage
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.accounts[accountID]
+	unlock := s.lockOrdered(accountID, postID)
+	defer unlock()
+	acctShard := s.shardFor(accountID)
+	postShard := s.shardFor(postID)
+	a, ok := acctShard.accounts[accountID]
 	if !ok {
 		return Comment{}, fmt.Errorf("commenter %q: %w", accountID, ErrNotFound)
 	}
 	if a.Suspended {
 		return Comment{}, fmt.Errorf("commenter %q: %w", accountID, ErrSuspended)
 	}
-	post, ok := s.posts[postID]
+	post, ok := postShard.posts[postID]
 	if !ok {
 		return Comment{}, fmt.Errorf("post %q: %w", postID, ErrNotFound)
 	}
@@ -390,9 +440,9 @@ func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (C
 		SourceIP:  meta.SourceIP,
 		At:        meta.At,
 	}
-	s.comments[c.ID] = c
-	s.commentsByPost[postID] = append(s.commentsByPost[postID], c.ID)
-	s.activity[accountID] = append(s.activity[accountID], Activity{
+	postShard.comments[c.ID] = c
+	postShard.commentsByPost[postID] = append(postShard.commentsByPost[postID], c.ID)
+	acctShard.activity[accountID] = append(acctShard.activity[accountID], Activity{
 		ActorID: accountID, Verb: VerbComment, ObjectID: c.ID, TargetID: post.AuthorID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	})
@@ -401,12 +451,12 @@ func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (C
 
 // Comments returns the comments on a post in creation order.
 func (s *Store) Comments(postID string) []Comment {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	idsList := s.commentsByPost[postID]
+	sh := s.rlock(postID)
+	defer sh.mu.RUnlock()
+	idsList := sh.commentsByPost[postID]
 	out := make([]Comment, 0, len(idsList))
 	for _, id := range idsList {
-		out = append(out, *s.comments[id])
+		out = append(out, *sh.comments[id])
 	}
 	return out
 }
@@ -414,9 +464,9 @@ func (s *Store) Comments(postID string) []Comment {
 // ActivityLog returns the account's outgoing activity in chronological
 // (insertion) order.
 func (s *Store) ActivityLog(accountID string) []Activity {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log := s.activity[accountID]
+	sh := s.rlock(accountID)
+	defer sh.mu.RUnlock()
+	log := sh.activity[accountID]
 	out := make([]Activity, len(log))
 	copy(out, log)
 	return out
@@ -424,10 +474,10 @@ func (s *Store) ActivityLog(accountID string) []Activity {
 
 // ActivitySince returns the account's outgoing activity at or after t.
 func (s *Store) ActivitySince(accountID string, t time.Time) []Activity {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.rlock(accountID)
+	defer sh.mu.RUnlock()
 	var out []Activity
-	for _, act := range s.activity[accountID] {
+	for _, act := range sh.activity[accountID] {
 		if !act.At.Before(t) {
 			out = append(out, act)
 		}
@@ -435,16 +485,17 @@ func (s *Store) ActivitySince(accountID string, t time.Time) []Activity {
 	return out
 }
 
-// ownerOfLocked resolves the owner (account or page) of a likeable object.
-// Callers must hold s.mu.
-func (s *Store) ownerOfLocked(objectID string) (string, error) {
-	if p, ok := s.posts[objectID]; ok {
+// ownerOfShard resolves the owner (account or page) of a likeable object.
+// All candidate records live in the object's own shard, which the caller
+// must hold.
+func ownerOfShard(sh *shard, objectID string) (string, error) {
+	if p, ok := sh.posts[objectID]; ok {
 		return p.AuthorID, nil
 	}
-	if _, ok := s.pages[objectID]; ok {
+	if _, ok := sh.pages[objectID]; ok {
 		return objectID, nil
 	}
-	if _, ok := s.accounts[objectID]; ok {
+	if _, ok := sh.accounts[objectID]; ok {
 		// Liking a profile is modelled as liking the account object itself
 		// (the paper observes honeypots liking owners' profile pictures).
 		return objectID, nil
@@ -454,9 +505,9 @@ func (s *Store) ownerOfLocked(objectID string) (string, error) {
 
 // OwnerOf resolves the owner of a likeable object.
 func (s *Store) OwnerOf(objectID string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ownerOfLocked(objectID)
+	sh := s.rlock(objectID)
+	defer sh.mu.RUnlock()
+	return ownerOfShard(sh, objectID)
 }
 
 // Stats summarises store contents; used by experiment reports.
@@ -464,18 +515,19 @@ type Stats struct {
 	Accounts, Pages, Posts, Comments, Likes int
 }
 
-// Stats returns aggregate counts.
+// Stats returns aggregate counts composed from per-shard snapshots.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{
-		Accounts: len(s.accounts),
-		Pages:    len(s.pages),
-		Posts:    len(s.posts),
-		Comments: len(s.comments),
-	}
-	for _, likes := range s.likesByObject {
-		st.Likes += len(likes)
+	var st Stats
+	for i := range s.shards {
+		sh := s.rlockIdx(i)
+		st.Accounts += len(sh.accounts)
+		st.Pages += len(sh.pages)
+		st.Posts += len(sh.posts)
+		st.Comments += len(sh.comments)
+		for _, likes := range sh.likesByObject {
+			st.Likes += len(likes)
+		}
+		sh.mu.RUnlock()
 	}
 	return st
 }
@@ -483,11 +535,13 @@ func (s *Store) Stats() Stats {
 // AccountIDs returns all account IDs in sorted order; used by tests and
 // deterministic sampling.
 func (s *Store) AccountIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.accounts))
-	for id := range s.accounts {
-		out = append(out, id)
+	var out []string
+	for i := range s.shards {
+		sh := s.rlockIdx(i)
+		for id := range sh.accounts {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out

@@ -1,0 +1,189 @@
+package socialgraph
+
+// Race-coverage stress tests: many goroutines hammer every operation
+// class of the sharded store at once. Run under `go test -race`; the CI
+// workflow enforces it. Assertions are deliberately about invariants that
+// hold under any interleaving (idempotent like counts, symmetric
+// friendship edges, conserved totals), not about specific orders.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStressMixedOpsParallel(t *testing.T) {
+	workers := 8
+	perWorker := 300
+	if testing.Short() {
+		perWorker = 100
+	}
+	s := NewWithShards(8) // fewer stripes than workers to force contention
+	epoch := time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
+
+	// Shared targets: every worker likes/comments on the same posts and
+	// pages so cross-shard write paths collide constantly.
+	owner := s.CreateAccount("owner", "IN", epoch)
+	page, err := s.CreatePage(owner.ID, "page", epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := make([]string, 4)
+	for i := range posts {
+		p, err := s.CreatePost(owner.ID, fmt.Sprintf("p%d", i), WriteMeta{At: epoch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		posts[i] = p.ID
+	}
+	actors := make([]string, workers)
+	for i := range actors {
+		actors[i] = s.CreateAccount(fmt.Sprintf("w%d", i), "IN", epoch).ID
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := actors[w]
+			for i := 0; i < perWorker; i++ {
+				at := epoch.Add(time.Duration(i) * time.Second)
+				meta := WriteMeta{AppID: "app", SourceIP: "203.0.113.1", At: at}
+				switch i % 7 {
+				case 0:
+					s.CreateAccount(fmt.Sprintf("w%d-extra%d", w, i), "IN", at)
+				case 1:
+					post := posts[i%len(posts)]
+					if err := s.AddLike(me, post, meta); err != nil && !errors.Is(err, ErrAlreadyLiked) {
+						t.Errorf("AddLike: %v", err)
+					}
+				case 2:
+					_ = s.RemoveLike(me, posts[i%len(posts)])
+				case 3:
+					if _, err := s.AddComment(me, posts[i%len(posts)], "c", meta); err != nil {
+						t.Errorf("AddComment: %v", err)
+					}
+				case 4:
+					if _, err := s.CreatePost(me, "mine", meta); err != nil {
+						t.Errorf("CreatePost: %v", err)
+					}
+				case 5:
+					if err := s.AddLike(me, page.ID, meta); err != nil && !errors.Is(err, ErrAlreadyLiked) {
+						t.Errorf("AddLike(page): %v", err)
+					}
+					_ = s.RemoveLike(me, page.ID)
+				default:
+					s.Likes(posts[i%len(posts)])
+					s.ActivityLog(me)
+					s.Stats()
+					s.PostsByAuthor(owner.ID)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Conservation: every comment made it; like sets contain only actors.
+	st := s.Stats()
+	wantComments := 0
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if i%7 == 3 {
+				wantComments++
+			}
+		}
+	}
+	if st.Comments != wantComments {
+		t.Fatalf("Stats.Comments = %d, want %d", st.Comments, wantComments)
+	}
+	for _, post := range posts {
+		if n := s.LikeCount(post); n > workers {
+			t.Fatalf("LikeCount(%s) = %d > %d workers despite idempotence", post, n, workers)
+		}
+		for _, l := range s.Likes(post) {
+			if _, err := s.Account(l.AccountID); err != nil {
+				t.Fatalf("like by unknown account %s", l.AccountID)
+			}
+		}
+	}
+	acq, _ := s.Contention().Totals()
+	if acq == 0 {
+		t.Fatal("contention tracker recorded no lock acquisitions")
+	}
+}
+
+func TestStressFriendshipSymmetry(t *testing.T) {
+	const n = 40
+	s := NewWithShards(4)
+	epoch := time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
+	accts := make([]string, n)
+	for i := range accts {
+		accts[i] = s.CreateAccount(fmt.Sprintf("f%d", i), "IN", epoch).ID
+	}
+	var wg sync.WaitGroup
+	// Every unordered pair is attempted from both directions concurrently;
+	// the ordered dual-shard locking must keep edges symmetric and reject
+	// exactly the duplicates.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			wg.Add(1)
+			go func(a, b string) {
+				defer wg.Done()
+				if err := s.AddFriendship(a, b); err != nil && !errors.Is(err, ErrAlreadyLiked) {
+					t.Errorf("AddFriendship: %v", err)
+				}
+			}(accts[i], accts[j])
+		}
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if got := s.FriendCount(accts[i]); got != n-1 {
+			t.Fatalf("FriendCount(%s) = %d, want %d", accts[i], got, n-1)
+		}
+		for j := 0; j < n; j++ {
+			if i != j && !s.AreFriends(accts[i], accts[j]) {
+				t.Fatalf("edge %d-%d missing", i, j)
+			}
+		}
+	}
+}
+
+func TestStressSuspendedWritersSettle(t *testing.T) {
+	s := New()
+	epoch := time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
+	author := s.CreateAccount("author", "IN", epoch)
+	post, err := s.CreatePost(author.ID, "p", WriteMeta{At: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actor := s.CreateAccount("actor", "IN", epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = s.SetSuspended(actor.ID, i%2 == 0)
+			_ = s.AddLike(actor.ID, post.ID, WriteMeta{At: epoch})
+			_ = s.RemoveLike(actor.ID, post.ID)
+		}(i)
+	}
+	wg.Wait()
+	// Once settled, a reinstated account must be able to write again and
+	// the store must be internally consistent.
+	if err := s.SetSuspended(actor.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.RemoveLike(actor.ID, post.ID)
+	if err := s.AddLike(actor.ID, post.ID, WriteMeta{At: epoch}); err != nil {
+		t.Fatalf("like after settle: %v", err)
+	}
+	if !s.HasLiked(actor.ID, post.ID) {
+		t.Fatal("HasLiked = false after successful AddLike")
+	}
+}
