@@ -1,0 +1,37 @@
+// Command collusionvet is the repo's invariant checker: a go vet
+// -vettool multichecker enforcing the token-hygiene, lock-order, and
+// determinism rules the paper reproduction depends on (DESIGN.md
+// "Static invariants").
+//
+// Usage:
+//
+//	go build -o /tmp/collusionvet ./cmd/collusionvet
+//	go vet -vettool=/tmp/collusionvet ./...
+//
+// or, equivalently, standalone (it shells out to go vet itself):
+//
+//	/tmp/collusionvet ./...
+//	/tmp/collusionvet -json ./...          # machine-readable findings
+//	/tmp/collusionvet -tokenflow=false ./... # disable one analyzer
+//
+// Suppress a false positive inline with
+// `//collusionvet:allow <analyzer> -- reason`, or opt a whole package
+// out with `//collusionvet:skip <analyzer> -- reason` in any file.
+package main
+
+import (
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/secretcompare"
+	"repro/internal/analysis/simclock"
+	"repro/internal/analysis/tokenflow"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		tokenflow.Analyzer,
+		lockorder.Analyzer,
+		simclock.Analyzer,
+		secretcompare.Analyzer,
+	)
+}

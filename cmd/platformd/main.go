@@ -22,12 +22,14 @@ import (
 	"repro/internal/apps"
 	"repro/internal/netsim"
 	"repro/internal/platform"
+	"repro/internal/redact"
 	"repro/internal/simclock"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8400", "listen address")
 	members := flag.Int("members", 50, "demo member accounts to create")
+	printSecret := flag.Bool("print-secret", false, "print the secure app's full secret (needed to drive the code flow by hand)")
 	flag.Parse()
 
 	internet := netsim.NewInternet()
@@ -59,7 +61,12 @@ func main() {
 
 	fmt.Printf("platformd listening on http://%s\n", *addr)
 	fmt.Printf("susceptible app: id=%s redirect=%s\n", susceptible.ID, susceptible.RedirectURI)
-	fmt.Printf("secure app:      id=%s redirect=%s (secret=%s)\n", secure.ID, secure.RedirectURI, secure.Secret)
+	fmt.Printf("secure app:      id=%s redirect=%s (secret=%s; pass -print-secret for the full value)\n",
+		secure.ID, secure.RedirectURI, redact.Token(secure.Secret))
+	if *printSecret {
+		//collusionvet:allow tokenflow -- operator explicitly asked via -print-secret
+		fmt.Printf("secure app secret: %s\n", secure.Secret)
+	}
 	for i := 0; i < *members; i++ {
 		acct := p.Graph.CreateAccount(fmt.Sprintf("member-%d", i+1), "IN", time.Now())
 		if i < 3 {

@@ -68,6 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//collusionvet:allow tokenflow -- showing the leaked token IS the demo (truncated to 24 chars)
 	fmt.Printf("leaked token (from URL fragment): %.24s...\n", token)
 
 	// Step 2 — anyone holding the bearer token can replay it from

@@ -1,0 +1,78 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects the
+// typed syntax of one package and reports Diagnostics. The repo cannot
+// vendor x/tools (the build is hermetic, stdlib only), so this package
+// provides just the surface the collusionvet suite needs:
+//
+//   - Analyzer / Pass / Diagnostic, mirroring the x/tools shapes so the
+//     checkers read like ordinary vet analyzers;
+//   - doc-comment annotations (//collusionvet:<tag>) that let code opt
+//     helpers in or out of an invariant (see Annotated);
+//   - inline and package-level diagnostic suppression
+//     (//collusionvet:allow <name>, //collusionvet:skip <name>) applied
+//     uniformly by every driver (unitchecker, analysistest).
+//
+// Drivers load and typecheck a package (from export data under `go vet
+// -vettool`, or from source in tests), build a Pass, run each Analyzer,
+// and filter the reported diagnostics through Suppressions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// -<name>=false flags and suppression comments; Doc is the one-paragraph
+// description shown by the multichecker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is the interface between one Analyzer run and the driver: the
+// typed syntax of a single package plus a Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info with every map the analyzers rely on
+// allocated. Drivers must use this so Selections/Uses lookups never nil.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// Analyzers whose invariant only concerns production code (tokenflow,
+// secretcompare, simclock) use this to skip test variants.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.Position(pos).Filename
+	return len(f) >= len("_test.go") && f[len(f)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,208 @@
+// Package analysistest runs a collusionvet analyzer over a golden
+// testdata package and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// stdlib-only framework in repro/internal/analysis.
+//
+// Layout: <testdata>/src/<pkg>/*.go holds one self-contained package
+// (stdlib imports only; dependencies are typechecked from GOROOT source
+// via go/importer's "source" mode, so no export data is needed). A
+// violation line carries an expectation:
+//
+//	fmt.Errorf("tok %s", token) // want `bearer-token leak`
+//
+// Each quoted or backquoted string is a regexp that must match exactly
+// one diagnostic reported on that line; unmatched diagnostics and
+// unsatisfied expectations both fail the test. Suppression directives
+// (//collusionvet:allow, //collusionvet:skip) are honored exactly as in
+// the real drivers, so testdata can prove they work: a violating line
+// with an allow comment and no want expectation passes only if the
+// suppression machinery removes the finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The source importer re-typechecks stdlib dependencies from GOROOT on
+// every instantiation; share one per process (it caches internally).
+var (
+	fsetOnce sync.Once
+	fset     *token.FileSet
+	imp      types.Importer
+	impMu    sync.Mutex
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	fsetOnce.Do(func() {
+		fset = token.NewFileSet()
+		imp = importer.ForCompiler(fset, "source", nil)
+	})
+	return fset, imp
+}
+
+// TestData returns the analyzer package's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads testdata/src/<pkg>, applies the analyzer, and compares
+// diagnostics against the package's // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata package %s: %v", dir, err)
+	}
+	fset, imp := sharedImporter()
+
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp}
+	impMu.Lock()
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	impMu.Unlock()
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", pkg, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	// Apply the same suppression filtering as the real drivers.
+	supp := analysis.NewSuppressions(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !supp.PackageSkipped(a.Name) && !supp.Suppressed(a.Name, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	check(t, fset, files, diags)
+}
+
+type expectation struct {
+	re    *regexp.Regexp
+	met   bool
+	posn  string
+	terse string
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// check matches diagnostics against // want comments line by line.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	// key: "file:line"
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				spec := text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(spec, -1) {
+					pat := m[2]
+					if m[1] != "" || pat == "" {
+						// Quoted form: unescape like a Go string.
+						unq, err := strconv.Unquote("\"" + m[1] + "\"")
+						if err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", key, m[1], err)
+							continue
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re, posn: key, terse: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.met && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.met {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.posn, w.terse)
+			}
+		}
+	}
+}

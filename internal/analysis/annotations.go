@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation tags understood by the suite. An annotation is a comment
+// line of the form //collusionvet:<tag> in the doc comment of a
+// declaration (no space after the slashes, like //go:build).
+const (
+	// AnnRedacts marks a helper whose result is safe to log even though
+	// its inputs are bearer tokens or full URLs (tokenflow).
+	AnnRedacts = "collusionvet:redacts"
+	// AnnLockOrder marks a low-level helper that is allowed to acquire
+	// shard mutexes directly / in loops because it IS the ordered-
+	// acquisition primitive (lockorder).
+	AnnLockOrder = "collusionvet:lockorder"
+	// AnnLocked marks a function whose caller is responsible for holding
+	// the relevant shard lock, so direct shard-map access inside it is
+	// intentional (lockorder).
+	AnnLocked = "collusionvet:locked"
+)
+
+// Annotated reports whether the doc comment group carries the given
+// //collusionvet:<tag> annotation line.
+func Annotated(doc *ast.CommentGroup, tag string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if strings.HasPrefix(text, "//"+tag) {
+			rest := text[len("//"+tag):]
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncDecls maps each function object of the package to its syntax,
+// letting analyzers consult the doc comment (annotations) of a callee
+// declared in the same package.
+func FuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				m[obj] = fd
+			}
+		}
+	}
+	return m
+}
+
+// CalleeFunc resolves the called function object of a call expression,
+// looking through parentheses. It returns nil for calls of function
+// values, builtins, and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}

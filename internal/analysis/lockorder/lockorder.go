@@ -1,0 +1,532 @@
+// Package lockorder implements the collusionvet analyzer that enforces
+// the sharded-store locking discipline introduced in PR 1: the
+// socialgraph store is striped across shards, and the single rule that
+// keeps it deadlock-free is that every multi-stripe write acquires its
+// shard mutexes in ascending shard-index order, via one annotated
+// helper (Store.lockOrdered). The analyzer machine-checks that rule for
+// any package exhibiting the pattern (a struct holding a slice of
+// mutex-guarded shard structs):
+//
+//   - direct sh.mu.Lock()/RLock() on a shard outside an annotated
+//     //collusionvet:lockorder helper is reported — all acquisition must
+//     flow through the helpers so ordering and contention accounting
+//     can't be bypassed;
+//   - acquiring a shard lock while another shard lock may still be held
+//     (second acquire before release, or an unbalanced acquire inside a
+//     loop) is reported — that is exactly the shape that deadlocks
+//     against the ascending-order writers;
+//   - indexing a shard's map fields in a function that never acquires a
+//     shard lock is reported unless the function is annotated
+//     //collusionvet:locked (caller holds the lock).
+//
+// The analysis is intra-package and linear (statements are scanned in
+// source order, branches sequentially), which is precise enough for the
+// store's straight-line lock/unlock idiom and errs toward reporting.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the shard lock-ordering checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "enforce ascending-order shard mutex acquisition (lockOrdered) and " +
+		"lock-held shard map access in sharded stores",
+	Run: run,
+}
+
+var (
+	acquireNames = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+	releaseNames = map[string]bool{"Unlock": true, "RUnlock": true}
+)
+
+type checker struct {
+	pass   *analysis.Pass
+	shards map[*types.Named]bool // shard-like struct types
+	decls  map[*types.Func]*ast.FuncDecl
+	// acquirers are package functions that return while holding a shard
+	// lock (Store.lock, lockIdx, lockOrdered, ...).
+	acquirers map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		shards:    shardTypes(pass),
+		decls:     analysis.FuncDecls(pass),
+		acquirers: make(map[*types.Func]bool),
+	}
+	if len(c.shards) == 0 {
+		return nil // package does not use the sharded-store pattern
+	}
+
+	// Fixed point: a function is an acquirer if it nets >0 lock
+	// acquisitions (its own plus calls to other acquirers).
+	for range 8 {
+		changed := false
+		for fn, fd := range c.decls {
+			if fd.Body == nil || c.acquirers[fn] {
+				continue
+			}
+			// Net held at return, excluding defer-released locks: a
+			// function that defers its unlock does not return holding.
+			st := c.scanFunc(fd, false)
+			if st.held > 0 {
+				c.acquirers[fn] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, fd := range sortedDecls(pass) {
+		if fd.Body == nil {
+			continue
+		}
+		c.scanFunc(fd, true)
+	}
+	return nil
+}
+
+// state tracks possibly-held shard locks during the linear scan of one
+// function body.
+type state struct {
+	held     int // locks acquired and not yet released
+	heldExit int // locks whose release is deferred to function exit
+	acquired bool
+	// unlockVars holds locals bound to the unlock closure returned by an
+	// acquirer (unlock := s.lockOrdered(...)).
+	unlockVars map[types.Object]bool
+	mapUses    []*ast.SelectorExpr // shard map accesses, judged at end
+}
+
+func (c *checker) scanFunc(fd *ast.FuncDecl, report bool) *state {
+	st := &state{unlockVars: make(map[types.Object]bool)}
+	exemptOrder := analysis.Annotated(fd.Doc, analysis.AnnLockOrder)
+	c.scanStmt(fd.Body, st, report && !exemptOrder)
+	if report && !exemptOrder && !st.acquired &&
+		!analysis.Annotated(fd.Doc, analysis.AnnLocked) {
+		for _, sel := range st.mapUses {
+			c.pass.Reportf(sel.Pos(),
+				"shard map %q accessed without acquiring the shard lock; lock via the store helpers or annotate the function //collusionvet:locked",
+				sel.Sel.Name)
+		}
+	}
+	return st
+}
+
+// scanStmt walks statements in source order, branches sequentially.
+func (c *checker) scanStmt(stmt ast.Stmt, st *state, report bool) {
+	switch s := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, s2 := range s.List {
+			c.scanStmt(s2, st, report)
+		}
+	case *ast.IfStmt:
+		c.scanStmt(s.Init, st, report)
+		c.scanExpr(s.Cond, st, report)
+		c.scanStmt(s.Body, st, report)
+		c.scanStmt(s.Else, st, report)
+	case *ast.ForStmt:
+		c.scanStmt(s.Init, st, report)
+		c.scanExpr(s.Cond, st, report)
+		c.scanLoopBody(s.Body, s.Post, st, report)
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st, report)
+		c.scanLoopBody(s.Body, nil, st, report)
+	case *ast.SwitchStmt:
+		c.scanStmt(s.Init, st, report)
+		c.scanExpr(s.Tag, st, report)
+		c.scanStmt(s.Body, st, report)
+	case *ast.TypeSwitchStmt:
+		c.scanStmt(s.Init, st, report)
+		c.scanStmt(s.Assign, st, report)
+		c.scanStmt(s.Body, st, report)
+	case *ast.SelectStmt:
+		c.scanStmt(s.Body, st, report)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.scanExpr(e, st, report)
+		}
+		for _, s2 := range s.Body {
+			c.scanStmt(s2, st, report)
+		}
+	case *ast.CommClause:
+		c.scanStmt(s.Comm, st, report)
+		for _, s2 := range s.Body {
+			c.scanStmt(s2, st, report)
+		}
+	case *ast.DeferStmt:
+		c.scanDefer(s.Call, st, report)
+	case *ast.GoStmt:
+		// A goroutine body runs under its own lock discipline.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			sub := &state{unlockVars: make(map[types.Object]bool)}
+			c.scanStmt(lit.Body, sub, report)
+		}
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, st, report)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.scanExpr(r, st, report)
+		}
+		for _, l := range s.Lhs {
+			c.scanExpr(l, st, report)
+		}
+		c.bindUnlockVars(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, st, report)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, st, report)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, st, report)
+		}
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, st, report)
+		c.scanExpr(s.Value, st, report)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st, report)
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt, st, report)
+	}
+}
+
+// scanLoopBody scans a loop body and reports when an iteration nets a
+// lock acquisition — N stripes locked in arbitrary hash order.
+func (c *checker) scanLoopBody(body *ast.BlockStmt, post ast.Stmt, st *state, report bool) {
+	before := st.held
+	c.scanStmt(body, st, report)
+	c.scanStmt(post, st, report)
+	if st.held > before && report {
+		c.pass.Reportf(body.Pos(),
+			"shard lock acquired inside a loop without matching release; acquire multiple stripes via the ascending-order helper (lockOrdered)")
+		st.held = before // don't cascade into later statements; during
+		// classification the inflated count IS the acquirer signal.
+	}
+}
+
+// scanDefer handles `defer x()`: releases move to function exit.
+func (c *checker) scanDefer(call *ast.CallExpr, st *state, report bool) {
+	if kind, _ := c.mutexOp(call); kind == opRelease {
+		if st.held > 0 {
+			st.held--
+			st.heldExit++
+		}
+		return
+	}
+	if c.unlockCall(call, st) {
+		if st.held > 0 {
+			st.held--
+			st.heldExit++
+		}
+		return
+	}
+	// defer func() { sh.mu.Unlock() }() — count the closure's releases
+	// as deferred releases.
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		rel := 0
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if kind, _ := c.mutexOp(inner); kind == opRelease {
+					rel++
+				} else if c.unlockCall(inner, st) {
+					rel++
+				}
+			}
+			return true
+		})
+		for ; rel > 0 && st.held > 0; rel-- {
+			st.held--
+			st.heldExit++
+		}
+		return
+	}
+	c.scanExpr(call, st, report)
+}
+
+// bindUnlockVars records `unlock := s.lockOrdered(...)` bindings.
+func (c *checker) bindUnlockVars(s *ast.AssignStmt, st *state) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, r := range s.Rhs {
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+		if fn == nil || !c.acquirers[fn] {
+			continue
+		}
+		id, ok := s.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if t := c.pass.TypesInfo.Types[r].Type; t != nil {
+			if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+				if obj := c.objOf(id); obj != nil {
+					st.unlockVars[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// scanExpr walks an expression in preorder, handling lock events.
+// Nested function literals are scanned with fresh state.
+func (c *checker) scanExpr(e ast.Expr, st *state, report bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sub := &state{unlockVars: make(map[types.Object]bool)}
+			c.scanStmt(n.Body, sub, report)
+			return false
+		case *ast.CallExpr:
+			c.callEvent(n, st, report)
+			return true
+		case *ast.SelectorExpr:
+			if c.shardMapField(n) {
+				st.mapUses = append(st.mapUses, n)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+type opKind int
+
+const (
+	opNone opKind = iota
+	opAcquire
+	opRelease
+)
+
+// callEvent classifies one call and updates the lock state.
+func (c *checker) callEvent(call *ast.CallExpr, st *state, report bool) {
+	if kind, sel := c.mutexOp(call); kind != opNone {
+		switch kind {
+		case opAcquire:
+			if report {
+				c.pass.Reportf(call.Pos(),
+					"direct shard mutex %s outside a lock-order helper; use the store's lock/rlock/lockOrdered helpers (or annotate the helper //collusionvet:lockorder)",
+					sel.Sel.Name)
+			}
+			c.acquire(call, st, report)
+		case opRelease:
+			if st.held > 0 {
+				st.held--
+			}
+		}
+		return
+	}
+	if c.unlockCall(call, st) {
+		if st.held > 0 {
+			st.held--
+		}
+		return
+	}
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn != nil && c.acquirers[fn] {
+		c.acquire(call, st, report)
+	}
+}
+
+func (c *checker) acquire(call *ast.CallExpr, st *state, report bool) {
+	if report && st.held+st.heldExit > 0 {
+		c.pass.Reportf(call.Pos(),
+			"shard lock acquired while another shard lock is held; cross-shard operations must take all stripes via the ascending-order helper (lockOrdered)")
+	}
+	st.held++
+	st.acquired = true
+}
+
+// unlockCall reports whether call invokes a stored unlock closure.
+func (c *checker) unlockCall(call *ast.CallExpr, st *state) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.objOf(id)
+	return obj != nil && st.unlockVars[obj]
+}
+
+// mutexOp classifies sh.mu.Lock()-shaped calls where sh is shard-like.
+func (c *checker) mutexOp(call *ast.CallExpr) (opKind, *ast.SelectorExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, nil
+	}
+	var kind opKind
+	switch {
+	case acquireNames[sel.Sel.Name]:
+		kind = opAcquire
+	case releaseNames[sel.Sel.Name]:
+		kind = opRelease
+	default:
+		return opNone, nil
+	}
+	// Receiver must be a mutex reached from a shard-like value.
+	mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || !isSyncMutex(c.pass.TypesInfo.Types[mu].Type) {
+		return opNone, nil
+	}
+	if !c.shardExpr(mu.X) {
+		return opNone, nil
+	}
+	return kind, sel
+}
+
+// shardExpr reports whether e evaluates to a shard-like value, possibly
+// via indexing a slice of shards (s.shards[i].mu.Lock()).
+func (c *checker) shardExpr(e ast.Expr) bool {
+	t := c.pass.TypesInfo.Types[ast.Unparen(e)].Type
+	return c.isShard(t)
+}
+
+func (c *checker) isShard(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && c.shards[n]
+}
+
+// shardMapField reports whether sel reads a map-typed field of a
+// shard-like struct.
+func (c *checker) shardMapField(sel *ast.SelectorExpr) bool {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	if !c.isShard(s.Recv()) {
+		return false
+	}
+	_, isMap := s.Obj().Type().Underlying().(*types.Map)
+	return isMap
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// shardTypes finds the package's shard-like types: structs with a sync
+// mutex field and at least one map field, that some other struct in the
+// package stripes into a slice ([]shard or []*shard).
+func shardTypes(pass *analysis.Pass) map[*types.Named]bool {
+	candidates := make(map[*types.Named]bool)
+	structs := []*types.Struct{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				structs = append(structs, st)
+				hasMutex, hasMap := false, false
+				for i := 0; i < st.NumFields(); i++ {
+					ft := st.Field(i).Type()
+					if isSyncMutex(ft) {
+						hasMutex = true
+					}
+					if _, ok := ft.Underlying().(*types.Map); ok {
+						hasMap = true
+					}
+				}
+				if hasMutex && hasMap {
+					candidates[named] = true
+				}
+			}
+		}
+	}
+	striped := make(map[*types.Named]bool)
+	for _, st := range structs {
+		for i := 0; i < st.NumFields(); i++ {
+			sl, ok := st.Field(i).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			elem := sl.Elem()
+			if p, ok := elem.(*types.Pointer); ok {
+				elem = p.Elem()
+			}
+			if n, ok := elem.(*types.Named); ok && candidates[n] {
+				striped[n] = true
+			}
+		}
+	}
+	return striped
+}
+
+// sortedDecls returns the package's function declarations in file/
+// position order for deterministic diagnostics.
+func sortedDecls(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

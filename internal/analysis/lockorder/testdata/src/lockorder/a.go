@@ -1,0 +1,121 @@
+// Package lockorder is golden testdata: a miniature striped store with
+// the same locking discipline as repro/internal/socialgraph.
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+type store struct {
+	shards []*shard
+}
+
+func (s *store) idx(id string) int { return len(id) % len(s.shards) }
+
+// lockIdx is the sanctioned low-level acquire.
+//
+//collusionvet:lockorder
+func (s *store) lockIdx(i int) *shard {
+	sh := s.shards[i]
+	sh.mu.Lock() // clean: annotated helper
+	return sh
+}
+
+// lockOrdered is the sanctioned multi-stripe acquire: ascending index.
+//
+//collusionvet:lockorder
+func (s *store) lockOrdered(a, b string) func() {
+	i, j := s.idx(a), s.idx(b)
+	if j < i {
+		i, j = j, i
+	}
+	s.lockIdx(i)
+	if j != i {
+		s.lockIdx(j)
+	}
+	return func() {
+		if j != i {
+			s.shards[j].mu.Unlock()
+		}
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Direct mutex acquisition bypasses ordering and contention accounting.
+func (s *store) directLock(id string) {
+	sh := s.shards[s.idx(id)]
+	sh.mu.Lock() // want `direct shard mutex Lock outside a lock-order helper`
+	sh.data[id]++
+	sh.mu.Unlock()
+}
+
+// Acquiring a second stripe while one is held deadlocks against the
+// ascending-order writers when the hash order disagrees.
+func (s *store) nested(a, b string) int {
+	x := s.lockIdx(s.idx(a))
+	defer x.mu.Unlock()
+	y := s.lockIdx(s.idx(b)) // want `while another shard lock is held`
+	n := y.data[b]
+	y.mu.Unlock()
+	return n + x.data[a]
+}
+
+// Locking every stripe in a loop holds N locks in arbitrary order.
+func (s *store) lockAll() {
+	for i := range s.shards { // want `inside a loop without matching release`
+		s.lockIdx(i)
+	}
+	for i := range s.shards {
+		s.shards[len(s.shards)-1-i].mu.Unlock()
+	}
+}
+
+// Reading a shard map without any lock in scope.
+func (s *store) peek(id string) int {
+	sh := s.shards[s.idx(id)]
+	return sh.data[id] // want `shard map "data" accessed without acquiring the shard lock`
+}
+
+// Allowed patterns below: helpers, per-stripe lock scopes, annotations.
+
+func (s *store) get(id string) int {
+	sh := s.lockIdx(s.idx(id))
+	defer sh.mu.Unlock()
+	return sh.data[id] // clean: lock acquired in this function
+}
+
+func (s *store) transfer(a, b string) {
+	unlock := s.lockOrdered(a, b)
+	defer unlock()
+	s.shards[s.idx(a)].data[a]--
+	s.shards[s.idx(b)].data[b]++
+}
+
+// Sequential per-stripe scopes (release before next acquire) are legal.
+func (s *store) sweep() int {
+	n := 0
+	for i := range s.shards {
+		sh := s.lockIdx(i)
+		n += len(sh.data)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// peekLocked documents a caller-holds-the-lock contract.
+//
+//collusionvet:locked
+func peekLocked(sh *shard, id string) int {
+	return sh.data[id] // clean: annotated
+}
+
+// Inline suppression when the caller pre-sorts indices.
+func (s *store) presorted(i, j int) {
+	x := s.lockIdx(i)
+	y := s.lockIdx(j) //collusionvet:allow lockorder -- caller guarantees i < j
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

@@ -1,0 +1,170 @@
+// Package secretcompare implements the collusionvet analyzer that flags
+// timing-unsafe equality checks on credentials. The paper's Section 6
+// countermeasure (appsecret_proof) only helps if the platform compares
+// secrets and proofs in constant time; a == on an app secret is a
+// byte-at-a-time oracle. The analyzer reports ==/!= between string
+// expressions when either side is named like a secret (secret, proof,
+// password, ...) or both sides are named like tokens, and neither side
+// is a constant (comparisons against "" and literals are identity
+// checks, not credential verification).
+//
+// The approved patterns are crypto/subtle.ConstantTimeCompare,
+// crypto/hmac.Equal, and the repro/internal/secrets.Equal helper built
+// on them.
+package secretcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the constant-time credential comparison checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "secretcompare",
+	Doc: "flag ==/!= on app secrets, appsecret_proofs, and token pairs; " +
+		"use crypto/subtle.ConstantTimeCompare (repro/internal/secrets.Equal)",
+	Run: run,
+}
+
+// secretWords are name segments that mark a value as a credential
+// whenever they terminate the name (app.Secret, clientSecret, proof).
+var secretWords = map[string]bool{
+	"secret": true, "proof": true, "password": true, "passwd": true, "apikey": true,
+}
+
+// tokenWords mark bearer-token values; a comparison is only flagged when
+// BOTH operands look like tokens (token == "" and id == token-shaped
+// identity checks stay legal via the constant-operand rule).
+var tokenWords = map[string]bool{
+	"token": true, "accesstoken": true, "tok": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue // tests compare tokens for identity, not authentication
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			x, y := ast.Unparen(cmp.X), ast.Unparen(cmp.Y)
+			if !isString(pass.TypesInfo, x) || !isString(pass.TypesInfo, y) {
+				return true
+			}
+			// Comparisons against constants (including "") cannot be
+			// used as a remote timing oracle against a stored secret.
+			if isConst(pass.TypesInfo, x) || isConst(pass.TypesInfo, y) {
+				return true
+			}
+			nx, ny := nameOf(pass.TypesInfo, x), nameOf(pass.TypesInfo, y)
+			switch {
+			case endsWith(nx, secretWords) || endsWith(ny, secretWords):
+				pass.Reportf(cmp.Pos(),
+					"timing-unsafe comparison of secret %q; use crypto/subtle.ConstantTimeCompare (secrets.Equal)",
+					pick(nx, ny, secretWords))
+			case endsWith(nx, tokenWords) && endsWith(ny, tokenWords):
+				pass.Reportf(cmp.Pos(),
+					"timing-unsafe comparison of tokens %q and %q; use crypto/subtle.ConstantTimeCompare (secrets.Equal)",
+					nx, ny)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}
+
+// nameOf extracts the human name of an operand: the identifier, the
+// selected field, or the called function.
+func nameOf(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		if fn := analysis.CalleeFunc(info, e); fn != nil {
+			return fn.Name()
+		}
+	case *ast.IndexExpr:
+		return nameOf(info, e.X)
+	}
+	return ""
+}
+
+// endsWith reports whether the final camelCase/snake_case segment of
+// name is in words ("clientSecret" → "secret", "appsecret_proof" →
+// "proof"); whole-name matches ("tok") count too.
+func endsWith(name string, words map[string]bool) bool {
+	if name == "" {
+		return false
+	}
+	segs := segments(name)
+	if len(segs) == 0 {
+		return false
+	}
+	last := segs[len(segs)-1]
+	if words[last] {
+		return true
+	}
+	// Collapse trailing pairs so "access_token"→"accesstoken" and
+	// "AppSecret"→... also match compound entries.
+	if len(segs) >= 2 && words[segs[len(segs)-2]+last] {
+		return true
+	}
+	return false
+}
+
+// segments splits an identifier on underscores and camelCase
+// boundaries, lowercased.
+func segments(name string) []string {
+	var segs []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			segs = append(segs, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	var prev rune
+	for _, r := range name {
+		switch {
+		case r == '_':
+			flush()
+		case unicode.IsUpper(r) && prev != 0 && !unicode.IsUpper(prev):
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+		prev = r
+	}
+	flush()
+	return segs
+}
+
+func pick(nx, ny string, words map[string]bool) string {
+	if endsWith(nx, words) {
+		return nx
+	}
+	return ny
+}

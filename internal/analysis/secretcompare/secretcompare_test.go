@@ -1,0 +1,12 @@
+package secretcompare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/secretcompare"
+)
+
+func TestSecretCompare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), secretcompare.Analyzer, "secretcompare")
+}

@@ -1,0 +1,45 @@
+// Package secretcompare is golden testdata for the constant-time
+// comparison checker.
+package secretcompare
+
+import "crypto/subtle"
+
+type app struct {
+	ID     string
+	Secret string
+}
+
+// Variable-time comparisons of credentials.
+func bad(secret string, a app, proof, expected string) bool {
+	if secret != a.Secret { // want `timing-unsafe comparison of secret "secret"`
+		return false
+	}
+	if proof == expected { // want `timing-unsafe comparison of secret "proof"`
+		return false
+	}
+	return true
+}
+
+// Token-to-token equality is an authentication check too.
+func sameBearer(token, storedToken string) bool {
+	return token == storedToken // want `timing-unsafe comparison of tokens`
+}
+
+// Allowed patterns: constants, identity on non-credentials, subtle.
+func good(secret string, a app, token string) bool {
+	if secret == "" { // clean: constant operand
+		return false
+	}
+	if token != "" { // clean
+		return false
+	}
+	if a.ID == "app-1" { // clean: not a credential name
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(secret), []byte(a.Secret)) == 1
+}
+
+// Inline suppression for a genuine identity (not auth) comparison.
+func rotated(token, prevToken string) bool {
+	return token == prevToken //collusionvet:allow secretcompare -- cache-key identity, not verification
+}

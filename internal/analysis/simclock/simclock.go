@@ -1,0 +1,92 @@
+// Package simclock implements the collusionvet analyzer that keeps
+// simulation code off the ambient wall clock. Every Figure-5-style
+// timeline in this repo is reproducible only because simulated time is
+// injected (repro/internal/simclock.Clock); a single stray time.Now()
+// in a simulation package silently decouples an experiment from its
+// seed. The analyzer forbids the ambient-clock entry points of package
+// time everywhere except:
+//
+//   - repro/internal/simclock itself (simclock.Real is the one sanctioned
+//     call site),
+//   - main wiring under cmd/ and examples/ (process entry points may
+//     anchor a simulation to the real clock),
+//   - the analysis tooling itself.
+//
+// Pure functions of package time (Date, Parse, Unix, Duration math) are
+// fine — only the functions that read or wait on the process clock are
+// flagged.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the simclock determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc: "forbid ambient-clock calls (time.Now, time.Sleep, ...) in simulation packages; " +
+		"inject repro/internal/simclock.Clock instead",
+	Run: run,
+}
+
+// banned is the set of package-time functions that read or block on the
+// process clock.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// exemptPath reports whether a package is allowed to touch the real
+// clock. Everything else — including analyzer testdata packages — is in
+// scope, which is what lets the analysistest suite exercise the check.
+func exemptPath(path string) bool {
+	return path == "repro/internal/simclock" ||
+		strings.HasPrefix(path, "repro/internal/analysis") ||
+		strings.HasPrefix(path, "repro/cmd/") ||
+		strings.HasPrefix(path, "repro/examples/")
+}
+
+func run(pass *analysis.Pass) error {
+	if exemptPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue // test harnesses may use real deadlines
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if !banned[fn.Name()] {
+				return true
+			}
+			// Methods on time.Timer etc. have non-nil receivers; the
+			// banned set only names package-level functions.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in simulation package %s breaks determinism; inject simclock.Clock",
+				fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), simclock.Analyzer, "simclock")
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions indexes the //collusionvet:allow and //collusionvet:skip
+// comments of a package so drivers can filter diagnostics uniformly.
+//
+//	x := risky() //collusionvet:allow tokenflow -- demo of the leak
+//
+// suppresses tokenflow findings on that line (or, when the comment
+// stands on its own line, on the line below it). A file containing
+//
+//	//collusionvet:skip lockorder -- reason
+//
+// disables that analyzer for the whole package (vet-style per-package
+// opt-out). The name "all" matches every analyzer.
+type Suppressions struct {
+	fset *token.FileSet
+	// allow[file][line] = set of analyzer names allowed on that line.
+	allow map[string]map[int]map[string]bool
+	// skip = analyzer names disabled for the entire package.
+	skip map[string]bool
+}
+
+// NewSuppressions scans the comments of files for suppression directives.
+func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{
+		fset:  fset,
+		allow: make(map[string]map[int]map[string]bool),
+		skip:  make(map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.directive(c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Suppressions) directive(c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	var names string
+	var skip bool
+	switch {
+	case strings.HasPrefix(text, "//collusionvet:allow"):
+		names = text[len("//collusionvet:allow"):]
+	case strings.HasPrefix(text, "//collusionvet:skip"):
+		names, skip = text[len("//collusionvet:skip"):], true
+	default:
+		return
+	}
+	// Strip a trailing "-- reason" clause.
+	if i := strings.Index(names, "--"); i >= 0 {
+		names = names[:i]
+	}
+	pos := s.fset.Position(c.Pos())
+	for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if name == "" {
+			continue
+		}
+		if skip {
+			s.skip[name] = true
+			continue
+		}
+		byLine := s.allow[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			s.allow[pos.Filename] = byLine
+		}
+		// The directive covers its own line and the next one, so both
+		// trailing comments and a comment-on-the-line-above work.
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			set := byLine[line]
+			if set == nil {
+				set = make(map[string]bool)
+				byLine[line] = set
+			}
+			set[name] = true
+		}
+	}
+}
+
+// PackageSkipped reports whether the analyzer is disabled for the whole
+// package via //collusionvet:skip.
+func (s *Suppressions) PackageSkipped(name string) bool {
+	return s.skip[name] || s.skip["all"]
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by an allow directive.
+func (s *Suppressions) Suppressed(name string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	set := s.allow[p.Filename][p.Line]
+	return set[name] || set["all"]
+}

@@ -1,0 +1,12 @@
+// Package skip proves per-package suppression: the skip directive below
+// disables tokenflow for the whole package, so the obvious leak carries
+// no want expectation.
+//
+//collusionvet:skip tokenflow -- fixture exercising package-level opt-out
+package skip
+
+import "fmt"
+
+func leak(token string) {
+	fmt.Println("token: " + token) // no finding: package is skipped
+}

@@ -1,0 +1,66 @@
+// Package tokenflow is golden testdata: every reported line carries a
+// // want expectation; clean lines prove the allowed patterns.
+package tokenflow
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/url"
+)
+
+type creds struct {
+	Token  string
+	Secret string
+}
+
+// Named credentials flowing into fmt/log/error sinks.
+func sinkNamed(token string, c creds) error {
+	log.Printf("using %s", token)             // want `bearer-token leak: .token.`
+	fmt.Printf("app secret: %s", c.Secret)    // want `bearer-token leak: .c\.Secret.`
+	_ = errors.New("auth failed: " + c.Token) // want `bearer-token leak`
+	return fmt.Errorf("bad token %q", token)  // want `bearer-token leak`
+}
+
+// Full URLs are presumed to carry credentials (implicit-flow fragments).
+func sinkURL(u *url.URL, vals url.Values) {
+	fmt.Printf("redirect: %v", u)      // want `bearer-token leak`
+	log.Println("frag: " + u.Fragment) // want `bearer-token leak`
+	_ = fmt.Sprintf("%s", u.String())  // want `bearer-token leak`
+	log.Print(vals)                    // want `bearer-token leak`
+}
+
+// One-step local derivation keeps the taint.
+func derived(vals url.Values, c creds) {
+	got := vals.Get("access_token")
+	fmt.Println("got " + got) // want `bearer-token leak`
+	x := c.Secret
+	log.Println(x) // want `bearer-token leak`
+	safe := vals.Get("message")
+	fmt.Println(safe) // clean: not a credential parameter
+}
+
+// mask is a sanctioned redactor: its result is loggable and the
+// formatting inside its own body is the masking itself.
+//
+//collusionvet:redacts
+func mask(tok string) string {
+	if len(tok) <= 8 {
+		return "…"
+	}
+	return fmt.Sprintf("%s…", tok[:4])
+}
+
+func allowed(c creds, u *url.URL) {
+	fmt.Printf("token %s", mask(c.Token)) // clean: redacted
+	log.Printf("token len %d", len(c.Token))
+	fmt.Printf("grant type %s", tokenType()) // clean: name ends in "type"
+	fmt.Printf("host %s", u.Host)            // clean: host alone carries no token
+}
+
+func tokenType() string { return "bearer" }
+
+// Inline suppression: the leak is the demo (quickstart-style).
+func demo(token string) {
+	fmt.Println("leaked: " + token) //collusionvet:allow tokenflow -- demonstrating the Figure 3 leak
+}

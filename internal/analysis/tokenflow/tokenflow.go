@@ -1,0 +1,392 @@
+// Package tokenflow implements the collusionvet analyzer that guards
+// the paper's core token-hygiene lesson: bearer access tokens leak
+// because they ride in URLs and get echoed into logs and error strings
+// (PAPER.md §3 — collusion networks harvest exactly such leaked
+// tokens). The analyzer flags token-bearing values flowing into
+// formatting/logging sinks:
+//
+//   - any argument of fmt.Errorf/Sprintf/Printf/..., log.*, or
+//     errors.New whose name marks it as a credential (token, secret,
+//     appsecret_proof, password, ...);
+//   - any url.URL / url.Values argument — a full URL is presumed to
+//     carry credentials in its query or fragment (the Figure 3 implicit
+//     flow puts access_token in the fragment), as are url.URL.Fragment /
+//     RawQuery reads and url.URL.String() results;
+//   - values locally derived from the above (one-step assignment taint,
+//     string concatenation, Values.Get("access_token") and friends).
+//
+// Escape hatch: helpers that mask their input may be annotated
+// //collusionvet:redacts (everything in repro/internal/redact is
+// trusted implicitly); their call results are clean, and sinks inside
+// their bodies are not checked.
+package tokenflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the bearer-token leak checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "tokenflow",
+	Doc: "flag bearer tokens and full URLs flowing into fmt/log/error sinks; " +
+		"redact via repro/internal/redact or a //collusionvet:redacts helper",
+	Run: run,
+}
+
+// sinkFuncs are the formatting/printing entry points checked, keyed by
+// package path then function/method name (log methods cover *log.Logger
+// too, since the method names coincide).
+var sinkFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Errorf": true, "Sprintf": true, "Sprint": true, "Sprintln": true,
+		"Printf": true, "Print": true, "Println": true,
+		"Fprintf": true, "Fprint": true, "Fprintln": true,
+		"Appendf": true, "Append": true, "Appendln": true,
+	},
+	"log": {
+		"Printf": true, "Print": true, "Println": true,
+		"Fatalf": true, "Fatal": true, "Fatalln": true,
+		"Panicf": true, "Panic": true, "Panicln": true,
+		"Output": true,
+	},
+	"errors": {"New": true},
+}
+
+// credWords mark a name's final segment as credential-bearing.
+var credWords = map[string]bool{
+	"token": true, "accesstoken": true, "tok": true,
+	"secret": true, "secrets": true, "proof": true,
+	"password": true, "passwd": true, "bearer": true, "apikey": true,
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	tainted map[types.Object]bool // locals assigned from tainted exprs
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		decls:   analysis.FuncDecls(pass),
+		tainted: make(map[types.Object]bool),
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue // production-logging invariant; tests format tokens freely
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.Annotated(fd.Doc, analysis.AnnRedacts) {
+				continue // the redactor's own formatting is the masking
+			}
+			c.propagate(fd.Body)
+			c.checkSinks(fd.Body)
+		}
+	}
+	return nil
+}
+
+// propagate performs one forward pass of assignment-based taint: a local
+// variable whose initializer is tainted carries the taint to its uses.
+func (c *checker) propagate(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if c.taintedExpr(n.Rhs[i]) {
+					if obj := c.objOf(id); obj != nil {
+						c.tainted[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) && c.taintedExpr(n.Values[i]) {
+					if obj := c.objOf(id); obj != nil {
+						c.tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// checkSinks reports tainted arguments of sink calls.
+func (c *checker) checkSinks(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		names := sinkFuncs[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if c.taintedExpr(arg) {
+				c.pass.Reportf(call.Pos(),
+					"possible bearer-token leak: %s flows into %s.%s; redact first (internal/redact or a //collusionvet:redacts helper)",
+					describe(arg), fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e may carry a bearer credential.
+func (c *checker) taintedExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if c.tainted[c.objOf(e)] {
+			return true
+		}
+		if urlValue(c.typeOf(e)) {
+			return true
+		}
+		return credName(e.Name) && stringish(c.typeOf(e))
+	case *ast.SelectorExpr:
+		if urlValue(c.typeOf(e)) {
+			return true
+		}
+		if credField(c.pass.TypesInfo, e) {
+			return true
+		}
+		return credName(e.Sel.Name) && stringish(c.typeOf(e))
+	case *ast.CallExpr:
+		return c.taintedCall(e)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return c.taintedExpr(e.X) || c.taintedExpr(e.Y)
+		}
+	case *ast.IndexExpr:
+		if lit := sensitiveLit(e.Index); lit {
+			return true // vals["access_token"]
+		}
+		return c.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return c.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.taintedExpr(e.X)
+		}
+	}
+	if urlValue(c.typeOf(e)) {
+		return true
+	}
+	return false
+}
+
+func (c *checker) taintedCall(call *ast.CallExpr) bool {
+	// Conversions like string(tok) keep the taint.
+	if len(call.Args) == 1 {
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return c.taintedExpr(call.Args[0])
+		}
+	}
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if c.redactor(fn) {
+		return false
+	}
+	if urlValue(c.typeOf(call)) {
+		return true // e.g. req.URL.Query()
+	}
+	// url.URL.String() re-serializes whatever the URL carries.
+	if fn.Name() == "String" && recvIsURL(fn) {
+		return true
+	}
+	// Values.Get("access_token"), r.FormValue("client_secret"), ...
+	switch fn.Name() {
+	case "Get", "FormValue", "PostFormValue":
+		if len(call.Args) >= 1 && sensitiveLit(call.Args[0]) {
+			return true
+		}
+	}
+	// NewSecret(), SecretProof(...), mintToken(...) — result named like
+	// a credential and string-shaped.
+	if credName(fn.Name()) && stringish(c.typeOf(call)) {
+		return true
+	}
+	return false
+}
+
+// redactor reports whether calls to fn launder taint: anything in a
+// .../redact package, or a same-package helper annotated
+// //collusionvet:redacts.
+func (c *checker) redactor(fn *types.Func) bool {
+	if fn.Pkg() != nil {
+		p := fn.Pkg().Path()
+		if p == "redact" || strings.HasSuffix(p, "/redact") {
+			return true
+		}
+	}
+	if fd, ok := c.decls[fn]; ok && analysis.Annotated(fd.Doc, analysis.AnnRedacts) {
+		return true
+	}
+	return false
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	return c.pass.TypesInfo.Types[e].Type
+}
+
+// urlValue reports whether t is url.URL, *url.URL, or url.Values.
+func urlValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/url" {
+		return false
+	}
+	return obj.Name() == "URL" || obj.Name() == "Values" || obj.Name() == "Userinfo"
+}
+
+// credField reports whether sel reads a credential-carrying field of
+// url.URL (Fragment, RawQuery, RawFragment).
+func credField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "net/url" || n.Obj().Name() != "URL" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Fragment", "RawQuery", "RawFragment":
+		return true
+	}
+	return false
+}
+
+func recvIsURL(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return urlValue(sig.Recv().Type())
+}
+
+// stringish limits name-based taint to types that can textually carry a
+// token: strings, string slices/maps, and url.Values.
+func stringish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		return stringish(u.Elem())
+	case *types.Map:
+		return stringish(u.Elem())
+	}
+	return false
+}
+
+// credName reports whether an identifier's final segment names a
+// credential ("accessToken", "app_secret", "tok"), while names like
+// "tokenType" or "tokenCount" stay clean.
+func credName(name string) bool {
+	segs := segments(name)
+	if len(segs) == 0 {
+		return false
+	}
+	last := segs[len(segs)-1]
+	if credWords[last] {
+		return true
+	}
+	return len(segs) >= 2 && credWords[segs[len(segs)-2]+last]
+}
+
+// sensitiveLit reports whether e is a string literal naming a credential
+// parameter ("access_token", "client_secret", "appsecret_proof").
+func sensitiveLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return false
+	}
+	v := strings.Trim(lit.Value, "`\"")
+	return credName(v)
+}
+
+func segments(name string) []string {
+	var segs []string
+	start := 0
+	lower := strings.ToLower(name)
+	for i := 1; i <= len(name); i++ {
+		if i == len(name) || name[i] == '_' ||
+			(name[i] >= 'A' && name[i] <= 'Z' && !(name[i-1] >= 'A' && name[i-1] <= 'Z')) {
+			if start < i {
+				seg := lower[start:i]
+				seg = strings.Trim(seg, "_")
+				if seg != "" {
+					segs = append(segs, seg)
+				}
+			}
+			start = i
+			if i < len(name) && name[i] == '_' {
+				start = i + 1
+			}
+		}
+	}
+	return segs
+}
+
+func describe(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return "`" + e.Name + "`"
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return "`" + x.Name + "." + e.Sel.Name + "`"
+		}
+		return "`" + e.Sel.Name + "`"
+	case *ast.CallExpr:
+		return "call result"
+	}
+	return "value"
+}

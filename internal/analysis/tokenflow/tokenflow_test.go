@@ -1,0 +1,16 @@
+package tokenflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tokenflow"
+)
+
+func TestTokenflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "tokenflow")
+}
+
+func TestPackageSkip(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "skip")
+}

@@ -1,0 +1,352 @@
+// Package unitchecker makes a multichecker binary out of collusionvet
+// analyzers, speaking the `go vet -vettool` protocol with nothing but
+// the standard library (a hermetic stand-in for
+// golang.org/x/tools/go/analysis/unitchecker).
+//
+// The protocol, as driven by cmd/go:
+//
+//	tool -V=full        → one line "<name> version devel ... buildID=<hash>"
+//	                      (hashed by cmd/go for its action cache)
+//	tool -flags         → JSON array of the tool's flags
+//	tool [flags] x.cfg  → analyze one package described by the JSON
+//	                      config; diagnostics to stderr, exit 2 if any;
+//	                      an (empty) facts file is written to VetxOutput
+//
+// Typechecking uses the export data cmd/go already built: the config's
+// PackageFile map points at compiled export files, read through
+// go/importer's gc mode with a custom lookup. No source re-typechecking
+// of dependencies happens, so a whole-module run costs little more than
+// the build itself.
+//
+// Convenience mode: when invoked with package patterns instead of a
+// .cfg file (collusionvet ./...), the binary re-executes itself under
+// `go vet -vettool=<self>`, so one command works both locally and in CI.
+// The -json flag switches diagnostic output to the x/tools JSON shape,
+// keyed by package ID then analyzer name.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors cmd/go's vetConfig (src/cmd/go/internal/work/exec.go);
+// field names are the wire format and must not change.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// A JSONDiagnostic is the x/tools-compatible JSON form of one finding.
+type JSONDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// Main is the entry point for a multichecker binary. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) > 1 && os.Args[1] == "-V=full" {
+		// cmd/go hashes this line into its action cache; tie it to the
+		// binary's content so edits to the checkers invalidate cached
+		// clean results.
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, selfHash())
+		os.Exit(0)
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-flags" {
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	jsonFlag := fs.Bool("json", false, "emit JSON diagnostics to stdout")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+firstLine(a.Doc)+")")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] ./packages...   (standalone; shells out to go vet)\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s [flags] file.cfg        (as go vet -vettool)\n", progname)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+	args := fs.Args()
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetCfg(args[0], analyzers, enabled, *jsonFlag)
+		return // unreachable; runVetCfg exits
+	}
+	runStandalone(args, analyzers, enabled, *jsonFlag)
+}
+
+// runStandalone re-executes under `go vet -vettool=<self>` so package
+// loading, build caching, and test-variant expansion all match the
+// toolchain exactly.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, enabled map[string]*bool, jsonOut bool) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collusionvet: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmdArgs := []string{"vet", "-vettool=" + self}
+	if jsonOut {
+		cmdArgs = append(cmdArgs, "-json")
+	}
+	for _, a := range analyzers {
+		if !*enabled[a.Name] {
+			cmdArgs = append(cmdArgs, "-"+a.Name+"=false")
+		}
+	}
+	cmdArgs = append(cmdArgs, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "collusionvet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runVetCfg analyzes the single package described by cfgFile.
+func runVetCfg(cfgFile string, analyzers []*analysis.Analyzer, enabled map[string]*bool, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgFile, err)
+	}
+
+	// cmd/go expects a facts file regardless of findings; the suite has
+	// no cross-package facts, so an empty file suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0) // dependency run: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewInfo()
+	tconf := types.Config{
+		Importer:  cfgImporter(fset, &cfg),
+		GoVersion: normalizeGoVersion(cfg.GoVersion),
+		Error:     func(error) {}, // keep going; first error returned by Check
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	supp := analysis.NewSuppressions(fset, files)
+	byAnalyzer := make(map[string][]analysis.Diagnostic)
+	total := 0
+	for _, a := range analyzers {
+		if !*enabled[a.Name] || supp.PackageSkipped(a.Name) {
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			fatalf("analyzer %s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			if supp.Suppressed(a.Name, d.Pos) {
+				continue
+			}
+			byAnalyzer[a.Name] = append(byAnalyzer[a.Name], d)
+			total++
+		}
+	}
+
+	if jsonOut {
+		out := map[string]map[string][]JSONDiagnostic{cfg.ID: {}}
+		for name, diags := range byAnalyzer {
+			jd := make([]JSONDiagnostic, len(diags))
+			for i, d := range diags {
+				jd[i] = JSONDiagnostic{Posn: fset.Position(d.Pos).String(), Message: d.Message}
+			}
+			out[cfg.ID][name] = jd
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(out)
+		os.Exit(0)
+	}
+
+	if total > 0 {
+		// Deterministic order: by position, then analyzer.
+		type flat struct {
+			name string
+			d    analysis.Diagnostic
+		}
+		var all []flat
+		for name, diags := range byAnalyzer {
+			for _, d := range diags {
+				all = append(all, flat{name, d})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d.Pos != all[j].d.Pos {
+				return all[i].d.Pos < all[j].d.Pos
+			}
+			return all[i].name < all[j].name
+		})
+		for _, f := range all {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(f.d.Pos), f.d.Message, f.name)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// cfgImporter resolves imports through the export data cmd/go compiled
+// for the build, honoring the vendor/ImportMap indirection.
+func cfgImporter(fset *token.FileSet, cfg *Config) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in vet config PackageFile)", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gc := importer.ForCompiler(fset, compiler, lookup)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printFlags answers the cmd/go `-flags` query.
+func printFlags(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	out := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON diagnostics"}}
+	for _, a := range analyzers {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, _ := json.Marshal(out)
+	os.Stdout.Write(data)
+}
+
+// selfHash content-hashes the running binary for -V=full.
+func selfHash() []byte {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return h.Sum(nil)[:16]
+}
+
+// normalizeGoVersion maps cmd/go's GoVersion field ("1.22", "go1.22.3",
+// "") onto the "go1.N" language-version shape go/types accepts.
+func normalizeGoVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	// Trim a patch component: go1.22.3 → go1.22.
+	parts := strings.SplitN(strings.TrimPrefix(v, "go"), ".", 3)
+	if len(parts) >= 2 {
+		return "go" + parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "collusionvet: "+format+"\n", args...)
+	os.Exit(1)
+}

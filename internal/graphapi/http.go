@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/oauthsim"
+	"repro/internal/secrets"
 	"repro/internal/socialgraph"
 )
 
@@ -346,7 +347,7 @@ func (h *httpAPI) debugToken(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr(CodeInvalidToken, "OAuthException", "unknown application"))
 		return
 	}
-	if secret != app.Secret {
+	if !secrets.Equal(secret, app.Secret) {
 		writeError(w, apiErr(CodeSecretProof, "OAuthException", "application secret mismatch"))
 		return
 	}

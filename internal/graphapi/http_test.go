@@ -361,3 +361,42 @@ func TestHTTPViewSourceWorkflowEndToEnd(t *testing.T) {
 		t.Fatalf("like account = %q, want %q", likes[0].AccountID, f.user.ID)
 	}
 }
+
+// TestDebugTokenSecretMatchUnchanged pins debug_token's observable
+// behaviour across the switch to constant-time secret comparison
+// (secrets.Equal): the exact secret still passes, and every near-miss —
+// empty, truncated, extended, or first-byte-flipped — is still rejected
+// with the same 403 secret-mismatch error.
+func TestDebugTokenSecretMatchUnchanged(t *testing.T) {
+	f, srv := newHTTPFixture(t)
+	tok := httpToken(t, f, srv)
+
+	introspect := func(secret string) int {
+		params := url.Values{
+			"client_id":     {f.app.ID},
+			"client_secret": {secret},
+			"input_token":   {tok},
+		}
+		resp, err := http.Get(srv.URL + "/debug_token?" + params.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := introspect(f.app.Secret); got != http.StatusOK {
+		t.Fatalf("correct secret: status = %d, want 200", got)
+	}
+	nearMisses := []string{
+		"",
+		f.app.Secret[:len(f.app.Secret)-1],
+		f.app.Secret + "x",
+		"X" + f.app.Secret[1:],
+	}
+	for _, bad := range nearMisses {
+		if got := introspect(bad); got != http.StatusForbidden {
+			t.Fatalf("near-miss secret %q: status = %d, want 403", bad, got)
+		}
+	}
+}

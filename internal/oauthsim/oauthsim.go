@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/ids"
+	"repro/internal/secrets"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
 )
@@ -383,7 +384,7 @@ func (s *Server) VerifySecretProof(info TokenInfo, proof string) error {
 		return nil
 	}
 	want := SecretProof(app.Secret, info.Token)
-	if !hmac.Equal([]byte(want), []byte(proof)) {
+	if !secrets.Equal(want, proof) {
 		return ErrBadSecretProof
 	}
 	return nil
@@ -406,5 +407,5 @@ func (s *Server) LiveTokenCount() int {
 
 // subtleNeq reports whether two strings differ, in constant time.
 func subtleNeq(a, b string) bool {
-	return !hmac.Equal([]byte(a), []byte(b))
+	return !secrets.Equal(a, b)
 }

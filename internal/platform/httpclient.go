@@ -8,6 +8,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/redact"
 )
 
 // HTTPClient implements Client over the platform's HTTP surface. It mimics
@@ -88,7 +90,9 @@ func (c *HTTPClient) AuthorizeImplicit(appID, redirectURI, accountID string, sco
 	}
 	tok := frag.Get("access_token")
 	if tok == "" {
-		return "", fmt.Errorf("platform: no access_token in redirect %q", loc)
+		// The redirect fragment may carry other credentials even when
+		// access_token is absent; never quote the raw URL into an error.
+		return "", fmt.Errorf("platform: no access_token in redirect %q", redact.URL(loc))
 	}
 	return tok, nil
 }

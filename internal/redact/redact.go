@@ -1,0 +1,107 @@
+// Package redact scrubs bearer tokens and other credentials out of
+// strings bound for logs, error values, or stdout. The paper's whole
+// attack surface is a leaked OAuth access token (§3: collusion networks
+// harvest tokens members copy out of the implicit-flow redirect URL), so
+// the reproduction never writes a full credential to any diagnostic
+// channel; the tokenflow analyzer enforces that statically, and these
+// helpers are its sanctioned escape hatch.
+package redact
+
+import (
+	"net/url"
+	"strings"
+)
+
+// keep is how many leading characters of a credential survive
+// redaction: enough to correlate log lines, far too few to replay.
+const keep = 6
+
+// sensitiveKeys are URL parameter names whose values are credentials.
+// Matching is case-insensitive.
+var sensitiveKeys = map[string]bool{
+	"access_token":    true,
+	"token":           true,
+	"input_token":     true,
+	"refresh_token":   true,
+	"code":            true,
+	"client_secret":   true,
+	"secret":          true,
+	"appsecret_proof": true,
+	"signed_request":  true,
+}
+
+// Token masks a credential for safe logging, keeping a short prefix so
+// operators can tell tokens apart without learning them.
+//
+//collusionvet:redacts
+func Token(s string) string {
+	if len(s) <= keep {
+		return "***"
+	}
+	return s[:keep] + "***"
+}
+
+// URL renders u with credential-bearing query and fragment parameters
+// masked and any embedded userinfo dropped. It never returns the
+// original token material even when the fragment is not key=value
+// shaped (the implicit flow puts access_token in the fragment, which is
+// exactly the part collusion-network members are told to copy).
+//
+//collusionvet:redacts
+func URL(u *url.URL) string {
+	if u == nil {
+		return ""
+	}
+	c := *u
+	c.User = nil
+	c.RawQuery = redactQuery(c.RawQuery)
+	c.Fragment = redactFragment(c.Fragment)
+	c.RawFragment = ""
+	return c.String()
+}
+
+// URLString parses raw and redacts it; if raw is not a parseable URL
+// the whole string is masked rather than risking a leak.
+//
+//collusionvet:redacts
+func URLString(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return Token(raw)
+	}
+	return URL(u)
+}
+
+func redactQuery(raw string) string {
+	if raw == "" {
+		return ""
+	}
+	vals, err := url.ParseQuery(raw)
+	if err != nil {
+		return "***"
+	}
+	return maskValues(vals)
+}
+
+func redactFragment(frag string) string {
+	if frag == "" {
+		return ""
+	}
+	// OAuth implicit-flow fragments are query-shaped; anything else is
+	// opaque and gets masked wholesale.
+	if vals, err := url.ParseQuery(frag); err == nil && strings.Contains(frag, "=") {
+		return maskValues(vals)
+	}
+	return "***"
+}
+
+func maskValues(vals url.Values) string {
+	for k, vs := range vals {
+		if sensitiveKeys[strings.ToLower(k)] {
+			for i := range vs {
+				vs[i] = Token(vs[i])
+			}
+		}
+	}
+	return vals.Encode()
+}

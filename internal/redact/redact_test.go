@@ -1,0 +1,78 @@
+package redact
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestToken(t *testing.T) {
+	tok := "EAAB1234567890abcdefghijklmnop"
+	got := Token(tok)
+	if strings.Contains(got, tok[keep:]) {
+		t.Fatalf("Token(%q) = %q still contains the secret tail", tok, got)
+	}
+	if !strings.HasPrefix(got, tok[:keep]) {
+		t.Fatalf("Token(%q) = %q lost the correlation prefix", tok, got)
+	}
+	if Token("short") != "***" {
+		t.Fatalf("Token(short) = %q; short inputs must be fully masked", Token("short"))
+	}
+	if Token("") != "***" {
+		t.Fatalf("Token(\"\") = %q", Token(""))
+	}
+}
+
+func TestURLMasksImplicitFlowFragment(t *testing.T) {
+	// The shape from the paper's Fig. 3: token in the redirect fragment.
+	raw := "https://app.example/cb#access_token=EAABsecretsecretsecret&expires_in=3600"
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := URL(u)
+	if strings.Contains(got, "secretsecret") {
+		t.Fatalf("URL(%q) = %q leaks the token", raw, got)
+	}
+	if !strings.Contains(got, "expires_in=3600") {
+		t.Fatalf("URL(%q) = %q lost the non-sensitive parameter", raw, got)
+	}
+	if u.Fragment != "access_token=EAABsecretsecretsecret&expires_in=3600" {
+		t.Fatalf("URL mutated its argument: fragment now %q", u.Fragment)
+	}
+}
+
+func TestURLMasksQueryAndUserinfo(t *testing.T) {
+	raw := "https://user:pw@graph.example/debug_token?input_token=EAABtoptoptopsecret&client_secret=sekrit123456&fields=id"
+	u, _ := url.Parse(raw)
+	got := URL(u)
+	for _, leak := range []string{"toptopsecret", "sekrit123456", "user:pw"} {
+		if strings.Contains(got, leak) {
+			t.Fatalf("URL(%q) = %q leaks %q", raw, got, leak)
+		}
+	}
+	if !strings.Contains(got, "fields=id") {
+		t.Fatalf("URL(%q) = %q lost the non-sensitive parameter", raw, got)
+	}
+}
+
+func TestURLOpaqueFragmentMasked(t *testing.T) {
+	u, _ := url.Parse("https://app.example/cb#EAABbaretokennokeys")
+	if got := URL(u); strings.Contains(got, "baretoken") {
+		t.Fatalf("opaque fragment leaked: %q", got)
+	}
+}
+
+func TestURLString(t *testing.T) {
+	if got := URLString("https://x/cb#access_token=EAABzzzzzzzzzzzz"); strings.Contains(got, "zzzz") {
+		t.Fatalf("URLString leaked: %q", got)
+	}
+	// Unparseable input is masked wholesale, not returned verbatim.
+	bad := "http://%zz/EAABzzzzzzzzzzzz"
+	if got := URLString(bad); strings.Contains(got, "EAAB") && len(got) > keep+3 {
+		t.Fatalf("URLString(%q) = %q not masked", bad, got)
+	}
+	if URL(nil) != "" {
+		t.Fatalf("URL(nil) = %q", URL(nil))
+	}
+}

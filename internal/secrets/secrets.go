@@ -1,0 +1,14 @@
+// Package secrets centralises constant-time credential comparison.
+// Early-exit string equality on an app secret or token leaks how many
+// leading bytes matched through response timing; every secret check in
+// the reproduction goes through Equal, and the secretcompare analyzer
+// flags any ==/!= that sneaks back in.
+package secrets
+
+import "crypto/subtle"
+
+// Equal reports whether a and b are identical, taking time dependent
+// only on their lengths, never on where they first differ.
+func Equal(a, b string) bool {
+	return subtle.ConstantTimeCompare([]byte(a), []byte(b)) == 1
+}

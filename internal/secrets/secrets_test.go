@@ -1,0 +1,27 @@
+package secrets
+
+import "testing"
+
+// TestEqualMatchesNaiveComparison proves the constant-time swap changed
+// no observable behaviour: Equal agrees with == on every pair,
+// including empty strings, prefixes, and case variants.
+func TestEqualMatchesNaiveComparison(t *testing.T) {
+	vals := []string{
+		"",
+		"s",
+		"secret",
+		"Secret",
+		"secret ",
+		"secretx",
+		"secre",
+		"a-much-longer-app-secret-0123456789",
+		"a-much-longer-app-secret-0123456788",
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := Equal(a, b), a == b; got != want {
+				t.Errorf("Equal(%q, %q) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}

@@ -115,6 +115,8 @@ func (s *Store) shardFor(id string) *shard {
 }
 
 // rlockIdx read-locks stripe i, recording lock pressure.
+//
+//collusionvet:lockorder
 func (s *Store) rlockIdx(i int) *shard {
 	sh := s.shards[i]
 	if sh.mu.TryRLock() {
@@ -127,6 +129,8 @@ func (s *Store) rlockIdx(i int) *shard {
 }
 
 // lockIdx write-locks stripe i, recording lock pressure.
+//
+//collusionvet:lockorder
 func (s *Store) lockIdx(i int) *shard {
 	sh := s.shards[i]
 	if sh.mu.TryLock() {
@@ -154,6 +158,8 @@ func (s *Store) lock(id string) *shard {
 // multi-stripe write is the store's one lock-ordering rule, and it makes
 // cross-shard operations (likes, comments, friendship edges) atomic
 // without a global lock.
+//
+//collusionvet:lockorder
 func (s *Store) lockOrdered(ids ...string) func() {
 	var idx [3]int
 	n := 0

@@ -488,6 +488,8 @@ func (s *Store) ActivitySince(accountID string, t time.Time) []Activity {
 // ownerOfShard resolves the owner (account or page) of a likeable object.
 // All candidate records live in the object's own shard, which the caller
 // must hold.
+//
+//collusionvet:locked
 func ownerOfShard(sh *shard, objectID string) (string, error) {
 	if p, ok := sh.posts[objectID]; ok {
 		return p.AuthorID, nil
