@@ -20,9 +20,24 @@ import (
 	"time"
 
 	"repro/internal/collusion"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simclock"
 )
+
+// serveMetrics exposes the observability surfaces — /metrics,
+// /debug/traces, and net/http/pprof — on their own listener so the
+// delivery engine's stats can be scraped without touching the
+// member-facing site.
+func serveMetrics(addr string, o *obs.Observer) {
+	mux := http.NewServeMux()
+	o.RegisterDebug(mux)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil && err != http.ErrServerClosed {
+			log.Printf("collusiond: metrics server: %v", err)
+		}
+	}()
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8500", "listen address")
@@ -34,6 +49,7 @@ func main() {
 	comments := flag.Int("comments", 10, "comments per request (0 disables)")
 	captcha := flag.Bool("captcha", false, "require CAPTCHA per request")
 	dailyLimit := flag.Int("daily-limit", 0, "requests per member per day (0 = unlimited)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/traces, and pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *appID == "" || *redirect == "" {
@@ -57,6 +73,11 @@ func main() {
 		},
 	}
 	network := collusion.NewNetwork(cfg, simclock.NewReal(), client)
+	observer := obs.New(simclock.NewReal())
+	network.SetObserver(observer)
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, observer)
+	}
 
 	fmt.Printf("collusiond %q listening on http://%s\n", *name, *addr)
 	fmt.Printf("exploiting app %s via %s\n", *appID, *platformURL)

@@ -12,14 +12,28 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/experiments"
 	"repro/internal/honeypot"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simclock"
 )
+
+// serveMetrics exposes /metrics, /debug/traces, and net/http/pprof on
+// addr in the background.
+func serveMetrics(addr string, o *obs.Observer) {
+	mux := http.NewServeMux()
+	o.RegisterDebug(mux)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil && err != http.ErrServerClosed {
+			log.Printf("milker: metrics server: %v", err)
+		}
+	}()
+}
 
 func main() {
 	demo := flag.Bool("demo", false, "self-contained Table 4 campaign")
@@ -33,7 +47,19 @@ func main() {
 	redirect := flag.String("redirect", "", "exploited application redirect URI (HTTP mode)")
 	account := flag.String("account", "", "honeypot's platform account ID (HTTP mode)")
 	posts := flag.Int("posts", 20, "posts to milk (HTTP mode)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/traces, and pprof on this address (empty disables)")
 	flag.Parse()
+
+	// The campaign's own telemetry: progress counters plus pprof, so a
+	// long milking run can be watched and profiled while it works.
+	observer := obs.New(simclock.NewReal())
+	milked := observer.M().Counter("milker_posts_milked_total",
+		"Honeypot posts successfully milked.").With()
+	observed := observer.M().Counter("milker_likes_observed_total",
+		"Likes observed on milked honeypot posts.").With()
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, observer)
+	}
 
 	if *demo {
 		res, err := experiments.Table4(experiments.Table4Config{
@@ -86,6 +112,8 @@ func main() {
 			likers[j] = l.AccountID
 		}
 		est.ObservePost(likers)
+		milked.Inc()
+		observed.Add(int64(len(likers)))
 		fmt.Printf("post %2d: delivered=%d cumulative-unique=%d\n", i+1, delivered, est.MembershipEstimate())
 	}
 	fmt.Printf("\nposts=%d likes=%d avg=%.1f membership>=%d\n",

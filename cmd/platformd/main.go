@@ -76,7 +76,17 @@ func main() {
 	fmt.Printf("(and %d more member accounts)\n", *members-3)
 	fmt.Println("dialog: GET /dialog/oauth?client_id=&redirect_uri=&response_type=token&scope=publish_actions&account_id=")
 
-	serve(*addr, p.Handler())
+	serve(*addr, buildHandler(p))
+}
+
+// buildHandler mounts the Graph API (wrapped in request telemetry) at /
+// alongside the observability surfaces: /metrics (Prometheus text
+// exposition), /debug/traces (JSONL span export), and net/http/pprof.
+func buildHandler(p *platform.Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", p.Handler())
+	p.Obs.RegisterDebug(mux)
+	return mux
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains in-flight

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestObservabilityScrape stands up the platformd handler over a world
+// that has run one milking round and deployed a countermeasure, then
+// scrapes it like a monitoring stack would: /metrics must expose every
+// required family, /debug/traces must show the like pipeline, and the
+// pprof index must answer.
+func TestObservabilityScrape(t *testing.T) {
+	s, err := core.NewStudy(workload.Options{
+		Scale:      5000,
+		MinMembers: 60,
+		Networks:   []string{"mg-likers.com"},
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := s.MilkNetwork("mg-likers.com"); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	s.Countermeasures().SetTokenRateLimit(10, time.Hour)
+
+	srv := httptest.NewServer(buildHandler(s.Scenario.Platform))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// One request through the instrumented API handler, so the HTTP
+	// middleware families have data (the in-process milking round above
+	// used the local client, which bypasses HTTP).
+	get("/me?access_token=bogus")
+
+	_, metricsBody := get("/metrics")
+	for _, want := range []string{
+		`graphapi_requests_total{op="like",code="0"}`,
+		`graphapi_request_seconds_bucket{op="like",le="+Inf"}`,
+		`graphapi_http_requests_total{endpoint="/me",status=`,
+		`collusion_likes_delivered_total{network="mg-likers.com"}`,
+		`oauth_tokens_issued_total`,
+		`oauth_tokens_invalidated_total`,
+		`defense_actions_total{countermeasure="token-rate-limit",action="deploy"} 1`,
+		`socialgraph_shard_lock_total{shard="0",outcome=`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	_, tracesBody := get("/debug/traces")
+	for _, want := range []string{"collusion.deliver", "graphapi.like", "oauth.validate", "shard.apply", "milk.round"} {
+		if !strings.Contains(tracesBody, `"name":"`+want+`"`) {
+			t.Errorf("/debug/traces missing span %q", want)
+		}
+	}
+
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+}

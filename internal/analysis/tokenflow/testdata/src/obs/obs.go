@@ -1,0 +1,40 @@
+// Package obs is golden testdata for the tokenflow obs-sink rule: span
+// attribute and event setters are diagnostic sinks (trace exports are
+// world-readable), so credentials must be redacted before they land on
+// a span. The Span type here is a local stub — the loader is
+// stdlib-only — but the package path ("obs") is what the rule keys on.
+package obs
+
+// Span mirrors the attribute/event surface of internal/obs.Span.
+type Span struct{}
+
+func (s *Span) SetAttr(key, value string) {}
+
+func (s *Span) Event(name string, kv ...string) {}
+
+// mask stands in for internal/redact.Token.
+//
+//collusionvet:redacts
+func mask(s string) string {
+	if len(s) <= 6 {
+		return "***"
+	}
+	return s[:6] + "***"
+}
+
+// Credentials flowing onto spans raw are flagged.
+func attrLeaks(span *Span, token string, secret string) {
+	span.SetAttr("token", token)           // want `bearer-token leak: .token. flows into obs\.SetAttr`
+	span.SetAttr("app", "app1"+secret)     // want `bearer-token leak`
+	span.Event("issued", "token", token)   // want `bearer-token leak: .token. flows into obs\.Event`
+	tok := token
+	span.SetAttr("token", tok) // want `bearer-token leak`
+}
+
+// The redact path is the sanctioned way to label spans with credentials.
+func attrClean(span *Span, token string) {
+	span.SetAttr("token", mask(token))
+	span.SetAttr("app", "app1")
+	span.Event("issued", "token", mask(token), "grant", "user")
+	span.Event("deny", "reason", "rate-limit")
+}

@@ -13,7 +13,10 @@
 //     flow puts access_token in the fragment), as are url.URL.Fragment /
 //     RawQuery reads and url.URL.String() results;
 //   - values locally derived from the above (one-step assignment taint,
-//     string concatenation, Values.Get("access_token") and friends).
+//     string concatenation, Values.Get("access_token") and friends);
+//   - span attribute/event setters in internal/obs (Span.SetAttr,
+//     Span.Event) — traces are exported over /debug/traces, so they are
+//     a diagnostic channel like any log line.
 //
 // Escape hatch: helpers that mask their input may be annotated
 // //collusionvet:redacts (everything in repro/internal/redact is
@@ -147,7 +150,7 @@ func (c *checker) checkSinks(body *ast.BlockStmt) {
 			return true
 		}
 		names := sinkFuncs[fn.Pkg().Path()]
-		if names == nil || !names[fn.Name()] {
+		if (names == nil || !names[fn.Name()]) && !obsSink(fn) {
 			return true
 		}
 		for _, arg := range call.Args {
@@ -236,6 +239,24 @@ func (c *checker) taintedCall(call *ast.CallExpr) bool {
 	// NewSecret(), SecretProof(...), mintToken(...) — result named like
 	// a credential and string-shaped.
 	if credName(fn.Name()) && stringish(c.typeOf(call)) {
+		return true
+	}
+	return false
+}
+
+// obsSink reports whether fn is a span attribute/event setter in an obs
+// package. Span data is exported verbatim over /debug/traces and trace
+// JSONL dumps, so these are credential sinks exactly like log calls.
+func obsSink(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if p != "obs" && !strings.HasSuffix(p, "/obs") {
+		return false
+	}
+	switch fn.Name() {
+	case "SetAttr", "Event":
 		return true
 	}
 	return false

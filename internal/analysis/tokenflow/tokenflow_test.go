@@ -11,6 +11,10 @@ func TestTokenflow(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "tokenflow")
 }
 
+func TestObsSinks(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "obs")
+}
+
 func TestPackageSkip(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "skip")
 }

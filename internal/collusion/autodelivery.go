@@ -1,5 +1,7 @@
 package collusion
 
+import "context"
+
 // Premium auto-delivery (Sec. 5.1): paid plans "automatically provide
 // likes without requiring users to manually login to collusion network
 // sites for each request". The network holds the subscriber's token, so
@@ -51,9 +53,13 @@ func (n *Network) RunAutoDelivery() int {
 			if quota <= 0 {
 				quota = n.cfg.LikesPerRequest
 			}
-			n.deliver(quota, s.accountID, false, func(t Sampled, ip string) error {
-				return n.client.Like(t.Token, p.ID, ip)
+			ctx, span := n.obs.T().StartSpan(nil, "collusion.autodeliver")
+			span.SetAttr("network", n.cfg.Name)
+			span.SetAttr("subscriber", s.accountID)
+			n.deliver(ctx, quota, s.accountID, false, func(ctx context.Context, t Sampled, ip string) error {
+				return n.like(ctx, t.Token, p.ID, ip)
 			})
+			span.End()
 			served++
 		}
 	}

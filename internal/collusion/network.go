@@ -1,13 +1,16 @@
 package collusion
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/graphapi"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/simclock"
 )
@@ -50,7 +53,19 @@ type Network struct {
 	cfg    Config
 	clock  simclock.Clock
 	client platform.Client
-	epoch  time.Time
+	// ctxClient is client's ContextClient view when the transport supports
+	// trace propagation (both built-in transports do), else nil.
+	ctxClient platform.ContextClient
+	epoch     time.Time
+
+	// Telemetry, wired by SetObserver; all instruments are nil-safe
+	// no-ops until then. Counters are pre-bound to this network's name so
+	// the per-like path skips the label lookup.
+	obs            *obs.Observer
+	likesDelivered *obs.BoundCounter // collusion_likes_delivered_total{network}
+	likesAttempted *obs.BoundCounter // collusion_likes_attempted_total{network}
+	commentsSent   *obs.BoundCounter // collusion_comments_delivered_total{network}
+	tokensDropped  *obs.BoundCounter // collusion_tokens_dropped_total{network}
 
 	mu            sync.Mutex
 	rng           *rand.Rand
@@ -84,10 +99,12 @@ type captchaChallenge struct {
 // client. The construction instant becomes day 0 for outage scheduling.
 func NewNetwork(cfg Config, clock simclock.Clock, client platform.Client) *Network {
 	cfg = cfg.withDefaults()
+	ctxClient, _ := client.(platform.ContextClient)
 	return &Network{
 		cfg:           cfg,
 		clock:         clock,
 		client:        client,
+		ctxClient:     ctxClient,
 		epoch:         clock.Now(),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		pool:          NewTokenPool(),
@@ -124,6 +141,22 @@ func (n *Network) CompleteAdWall(accountID string) error {
 	n.stats.AdImpressions += int64(n.cfg.AdWallHops * n.cfg.AdsPerVisit)
 	n.adWallPass[accountID] = true
 	return nil
+}
+
+// SetObserver wires telemetry: per-network delivery counters (the
+// likes-by-network series behind Figures 4 and 5) and a span per delivery
+// burst, with each like joining the burst's trace through the client's
+// ContextClient view.
+func (n *Network) SetObserver(o *obs.Observer) {
+	n.obs = o
+	n.likesDelivered = o.M().Counter("collusion_likes_delivered_total",
+		"Likes successfully delivered, by collusion network.", "network").With(n.cfg.Name)
+	n.likesAttempted = o.M().Counter("collusion_likes_attempted_total",
+		"Like attempts fired at the Graph API, by collusion network.", "network").With(n.cfg.Name)
+	n.commentsSent = o.M().Counter("collusion_comments_delivered_total",
+		"Comments successfully delivered, by collusion network.", "network").With(n.cfg.Name)
+	n.tokensDropped = o.M().Counter("collusion_tokens_dropped_total",
+		"Dead tokens purged from the pool after delivery failures, by collusion network.", "network").With(n.cfg.Name)
 }
 
 // Name returns the network's domain name.
@@ -329,10 +362,28 @@ func (n *Network) RequestLikes(accountID, postID, captchaAnswer string) (int, er
 	n.stats.LikeRequests++
 	n.mu.Unlock()
 	quota := n.likesFor(accountID)
-	delivered := n.deliver(quota, accountID, false, func(s Sampled, ip string) error {
-		return n.client.Like(s.Token, postID, ip)
+	delivered := n.deliver(nil, quota, accountID, false, func(ctx context.Context, s Sampled, ip string) error {
+		return n.like(ctx, s.Token, postID, ip)
 	})
 	return delivered, nil
+}
+
+// like fires one like through the transport, propagating the delivery
+// burst's trace when the transport supports it.
+func (n *Network) like(ctx context.Context, token, objectID, ip string) error {
+	if n.ctxClient != nil {
+		return n.ctxClient.LikeCtx(ctx, token, objectID, ip)
+	}
+	return n.client.Like(token, objectID, ip)
+}
+
+// comment fires one comment through the transport, propagating the trace
+// when possible.
+func (n *Network) comment(ctx context.Context, token, postID, message, ip string) (string, error) {
+	if n.ctxClient != nil {
+		return n.ctxClient.CommentCtx(ctx, token, postID, message, ip)
+	}
+	return n.client.Comment(token, postID, message, ip)
 }
 
 // RequestComments asks for auto-comments on a post. Comments are drawn
@@ -347,11 +398,11 @@ func (n *Network) RequestComments(accountID, postID, captchaAnswer string) (int,
 	n.mu.Lock()
 	n.stats.CommentRequests++
 	n.mu.Unlock()
-	delivered := n.deliver(n.cfg.CommentsPerRequest, accountID, true, func(s Sampled, ip string) error {
+	delivered := n.deliver(nil, n.cfg.CommentsPerRequest, accountID, true, func(ctx context.Context, s Sampled, ip string) error {
 		n.mu.Lock()
 		msg := n.cfg.CommentDictionary[n.rng.Intn(len(n.cfg.CommentDictionary))]
 		n.mu.Unlock()
-		_, err := n.client.Comment(s.Token, postID, msg, ip)
+		_, err := n.comment(ctx, s.Token, postID, msg, ip)
 		return err
 	})
 	return delivered, nil
@@ -376,8 +427,8 @@ func (n *Network) RequestCustomComments(accountID, postID, message, captchaAnswe
 	n.mu.Lock()
 	n.stats.CommentRequests++
 	n.mu.Unlock()
-	delivered := n.deliver(count, accountID, true, func(s Sampled, ip string) error {
-		_, err := n.client.Comment(s.Token, postID, message, ip)
+	delivered := n.deliver(nil, count, accountID, true, func(ctx context.Context, s Sampled, ip string) error {
+		_, err := n.comment(ctx, s.Token, postID, message, ip)
 		return err
 	})
 	return delivered, nil
@@ -391,17 +442,27 @@ func (n *Network) RequestCustomComments(accountID, postID, message, captchaAnswe
 // the engine burns through dead tokens to keep its per-request quota,
 // shrinking its pool in the process (the gradual-dip-then-recover
 // dynamics of Figure 5).
-func (n *Network) deliver(quota int, requester string, comment bool, act func(Sampled, string) error) int {
+func (n *Network) deliver(ctx context.Context, quota int, requester string, comment bool, act func(context.Context, Sampled, string) error) int {
 	now := n.clock.Now()
+	ctx, span := n.obs.T().StartSpanAt(ctx, "collusion.deliver", now)
+	if span != nil {
+		span.SetAttr("network", n.cfg.Name)
+		span.SetAttr("requester", requester)
+		span.SetAttr("quota", strconv.Itoa(quota))
+	}
 	n.mu.Lock()
 	hotSet := n.cfg.HotSetSize
 	if n.adapted {
 		hotSet = 0
 	}
-	rng := n.rng
 	n.mu.Unlock()
 
 	exclude := map[string]bool{requester: true}
+	// Trace the first action of the burst end to end (so every round
+	// yields one oauth → graphapi → shard chain under this span) and
+	// suppress span creation for the rest: a burst is hundreds of
+	// identical calls, and tracing each one would dominate the round.
+	sampledCtx, restCtx := ctx, obs.UnsampledContext(ctx)
 	delivered, attempts := 0, 0
 	// A 1.5× attempt budget: the engine replaces some failures but does
 	// not scour the pool indefinitely, so a half-invalidated pool shows a
@@ -409,7 +470,13 @@ func (n *Network) deliver(quota int, requester string, comment bool, act func(Sa
 	// shape.
 	budget := quota + quota/2
 	for delivered < quota && attempts < budget {
-		sampled := n.pool.Sample(rng, quota-delivered, exclude, n.cfg.MaxPerTokenHourly, hotSet, now)
+		// The rng draw happens under n.mu like every other n.rng use —
+		// concurrent member requests share one deterministic stream (the
+		// pool has its own lock; same n.mu → pool.mu order as the ban
+		// path above).
+		n.mu.Lock()
+		sampled := n.pool.Sample(n.rng, quota-delivered, exclude, n.cfg.MaxPerTokenHourly, hotSet, now)
+		n.mu.Unlock()
 		if len(sampled) == 0 {
 			break
 		}
@@ -417,7 +484,11 @@ func (n *Network) deliver(quota int, requester string, comment bool, act func(Sa
 			exclude[s.AccountID] = true
 			attempts++
 			ip := n.pickIP()
-			err := act(s, ip)
+			actCtx := restCtx
+			if attempts == 1 {
+				actCtx = sampledCtx
+			}
+			err := act(actCtx, s, ip)
 			n.mu.Lock()
 			if !comment {
 				n.stats.LikesAttempted++
@@ -435,6 +506,7 @@ func (n *Network) deliver(quota int, requester string, comment bool, act func(Sa
 			code := platform.ErrorCode(err)
 			n.stats.FailuresByCode[code]++
 			n.mu.Unlock()
+			span.Event("failure", "code", strconv.Itoa(code))
 			switch code {
 			case graphapi.CodeInvalidToken, graphapi.CodeAccountSuspended:
 				// Dead token: drop the member until they resubmit.
@@ -442,11 +514,28 @@ func (n *Network) deliver(quota int, requester string, comment bool, act func(Sa
 					n.mu.Lock()
 					n.stats.TokensDropped++
 					n.mu.Unlock()
+					n.tokensDropped.Inc()
+					span.Event("drop-token")
 				}
 			case graphapi.CodeRateLimited:
 				n.noteRateLimited(now)
+				span.Event("rate-limited")
 			}
 		}
+	}
+	// Scrape counters update once per burst, not once per action: a burst
+	// is hundreds of likes racing across eight workers, and per-action
+	// Incs on the shared series were the hottest contended cache line in
+	// the instrumented profile. Totals stay exact.
+	if comment {
+		n.commentsSent.Add(int64(delivered))
+	} else {
+		n.likesAttempted.Add(int64(attempts))
+		n.likesDelivered.Add(int64(delivered))
+	}
+	if span != nil {
+		span.SetAttr("delivered", strconv.Itoa(delivered))
+		span.EndAt(n.clock.Now())
 	}
 	return delivered
 }

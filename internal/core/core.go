@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/graphapi"
 	"repro/internal/honeypot"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -81,6 +83,31 @@ func NewStudy(opts workload.Options) (*Study, error) {
 // Clock returns the study's simulated clock.
 func (s *Study) Clock() *simclock.Simulated { return s.Scenario.Clock }
 
+// Observer returns the platform's observability layer — the tracer the
+// milking spans land in and the registry /metrics serves.
+func (s *Study) Observer() *obs.Observer { return s.Scenario.Platform.Obs }
+
+// milkSpan opens the per-network per-round span; closeMilkSpan annotates
+// it with the round's outcome.
+func (s *Study) milkSpan(network string) *obs.Span {
+	_, span := s.Observer().T().StartSpan(nil, "milk.round")
+	span.SetAttr("network", network)
+	return span
+}
+
+func closeMilkSpan(span *obs.Span, res MilkResult) {
+	if span == nil {
+		return
+	}
+	if res.Err != nil {
+		span.Event("error", "message", res.Err.Error())
+	}
+	span.SetAttr("post", res.PostID)
+	span.SetAttr("delivered", strconv.Itoa(res.Delivered))
+	span.SetAttr("likers", strconv.Itoa(len(res.Likers)))
+	span.End()
+}
+
 // AdvanceHour moves simulated time forward one hour.
 func (s *Study) AdvanceHour() { s.Scenario.Clock.Advance(time.Hour) }
 
@@ -105,13 +132,16 @@ type MilkResult struct {
 // or was invalidated (the countermeasures do not spare honeypots) — the
 // honeypot re-runs the install flow and retries once, as the paper's
 // long-running automation had to.
-func (s *Study) MilkNetwork(name string) MilkResult {
+func (s *Study) MilkNetwork(name string) (res MilkResult) {
 	hp, ok := s.Honeypots[name]
 	if !ok {
 		return MilkResult{Network: name, Err: fmt.Errorf("core: unknown network %q", name)}
 	}
+	span := s.milkSpan(name)
+	defer func() { closeMilkSpan(span, res) }()
 	postID, delivered, err := hp.MilkOnce()
 	if err != nil && errors.Is(err, collusion.ErrNotMember) {
+		span.Event("rejoin")
 		if rerr := hp.Rejoin(); rerr == nil {
 			postID, delivered, err = hp.MilkOnce()
 		}
@@ -157,13 +187,16 @@ func (s *Study) AddHoneypot(network string) (*honeypot.Honeypot, error) {
 // the network's shared estimator and the countermeasure backlog exactly
 // like MilkNetwork. Use with AddHoneypot to spread a campaign across a
 // fleet.
-func (s *Study) MilkVia(hp *honeypot.Honeypot, network string) MilkResult {
+func (s *Study) MilkVia(hp *honeypot.Honeypot, network string) (res MilkResult) {
 	est, ok := s.Estimators[network]
 	if !ok {
 		return MilkResult{Network: network, Err: fmt.Errorf("core: unknown network %q", network)}
 	}
+	span := s.milkSpan(network)
+	defer func() { closeMilkSpan(span, res) }()
 	postID, delivered, err := hp.MilkOnce()
 	if err != nil && errors.Is(err, collusion.ErrNotMember) {
+		span.Event("rejoin")
 		if rerr := hp.Rejoin(); rerr == nil {
 			postID, delivered, err = hp.MilkOnce()
 		}
@@ -253,13 +286,21 @@ type Countermeasures struct {
 	asBlocker    *defense.ASBlocker
 	tap          *defense.SynchroTap
 	invalidator  *defense.Invalidator
+
+	// actions shares the defense_actions_total family the Graph API uses
+	// for policy denials, adding the control-plane side: deployments and
+	// sweeps, so the Figure 5 phase boundaries appear in /metrics.
+	actions *obs.CounterVec
 }
 
 func newCountermeasures(s *Study) *Countermeasures {
 	inv := defense.NewInvalidator(defense.AccountRevokerFunc(func(accountID, reason string) bool {
 		return s.Scenario.Platform.OAuth.InvalidateAccount(accountID, reason) > 0
 	}), "honeypot-milked")
-	return &Countermeasures{study: s, invalidator: inv}
+	actions := s.Observer().M().Counter("defense_actions_total",
+		"Defense actions taken, by countermeasure and action.",
+		"countermeasure", "action")
+	return &Countermeasures{study: s, invalidator: inv, actions: actions}
 }
 
 func (c *Countermeasures) chain() *graphapi.Chain {
@@ -277,21 +318,31 @@ func (c *Countermeasures) SetTokenRateLimit(limit int, window time.Duration) {
 	if c.tokenLimiter == nil {
 		c.tokenLimiter = defense.NewTokenRateLimiter(c.study.Scenario.Clock, limit, window)
 		c.chain().Append(c.tokenLimiter)
+		c.actions.Inc("token-rate-limit", "deploy")
 		return
 	}
 	c.tokenLimiter.SetLimit(limit)
+	c.actions.Inc("token-rate-limit", "adjust")
 }
 
 // InvalidateMilkedFraction revokes the given fraction of the queued
 // milked accounts' tokens (Sec. 6.2) and returns how many accounts were
 // swept.
 func (c *Countermeasures) InvalidateMilkedFraction(fraction float64) int {
-	return c.invalidator.InvalidateFraction(fraction, c.study.rng)
+	n := c.invalidator.InvalidateFraction(fraction, c.study.rng)
+	if n > 0 {
+		c.actions.Add(int64(n), "token-invalidation", "sweep")
+	}
+	return n
 }
 
 // InvalidateMilkedAll revokes every queued milked account's tokens.
 func (c *Countermeasures) InvalidateMilkedAll() int {
-	return c.invalidator.InvalidateAll()
+	n := c.invalidator.InvalidateAll()
+	if n > 0 {
+		c.actions.Add(int64(n), "token-invalidation", "sweep")
+	}
+	return n
 }
 
 // PendingMilked reports the invalidation backlog size.
@@ -306,6 +357,7 @@ func (c *Countermeasures) DeployClustering(window time.Duration, simThreshold fl
 	trap := defense.NewSynchroTrap(window, simThreshold, minShared, minClusterSize)
 	c.tap = defense.NewSynchroTap(trap)
 	c.chain().Append(c.tap)
+	c.actions.Inc("synchrotrap", "deploy")
 	return trap
 }
 
@@ -325,6 +377,9 @@ func (c *Countermeasures) RunClusteringSweep() int {
 			}
 		}
 	}
+	if n > 0 {
+		c.actions.Add(int64(n), "synchrotrap", "cluster-hit")
+	}
 	return n
 }
 
@@ -336,6 +391,7 @@ func (c *Countermeasures) DeployIPRateLimits(daily, weekly int) {
 	}
 	c.ipLimiter = defense.NewIPRateLimiter(c.study.Scenario.Clock, daily, weekly)
 	c.chain().Append(c.ipLimiter)
+	c.actions.Inc("ip-rate-limit", "deploy")
 }
 
 // BlockASes blocks the given autonomous systems for all susceptible
@@ -353,6 +409,7 @@ func (c *Countermeasures) BlockASes(asns ...netsim.ASN) {
 	}
 	for _, asn := range asns {
 		c.asBlocker.Block(asn)
+		c.actions.Inc("as-block", "block")
 	}
 }
 
@@ -375,6 +432,9 @@ func (c *Countermeasures) SuspendAccounts(accountIDs []string, reason string) in
 		}
 		oauth.InvalidateAccount(id, reason)
 		n++
+	}
+	if n > 0 {
+		c.actions.Add(int64(n), "account-suspend", "suspend")
 	}
 	return n
 }

@@ -12,14 +12,18 @@
 package graphapi
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/netsim"
 	"repro/internal/oauthsim"
+	"repro/internal/obs"
+	"repro/internal/redact"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
 )
@@ -193,7 +197,51 @@ type API struct {
 	registry *apps.Registry
 	internet *netsim.Internet
 	chain    *Chain
+
+	// Telemetry, wired by SetObserver. All fields are nil-safe no-ops
+	// until then, so uninstrumented construction keeps working.
+	obs            *obs.Observer
+	reqCount       *obs.CounterVec   // graphapi_requests_total{op,code}
+	reqLatency     *obs.HistogramVec // graphapi_request_seconds{op}
+	defenseActions *obs.CounterVec   // defense_actions_total{countermeasure,action}
+	opInst         [numOps]opInstruments
 }
+
+// opInstruments prebinds the success-path series for one operation so
+// finish skips the per-call label lookup (a mutex plus a map probe) on
+// the milking hot path. Error codes take the slow path — they are rare.
+type opInstruments struct {
+	ok      *obs.BoundCounter
+	latency *obs.BoundHistogram
+}
+
+// Operation indices. begin and finish key instruments and span names by
+// these rather than by the op's label string: on the milking hot path an
+// array index replaces two string-map probes (and their hashing) per call.
+const (
+	opMe = iota
+	opLike
+	opUnlike
+	opComment
+	opPublish
+	opFeed
+	opFriends
+	opLikes
+	opComments
+	numOps
+)
+
+// opNames maps each operation index to its metric label value.
+var opNames = [numOps]string{"me", "like", "unlike", "comment", "publish", "feed", "friends", "likes", "comments"}
+
+// spanNames maps each operation index to its span name, precomputed so
+// begin does not concatenate (and so allocate) per call.
+var spanNames = func() (n [numOps]string) {
+	for i, op := range opNames {
+		n[i] = "graphapi." + op
+	}
+	return
+}()
 
 // New wires an API over its substrates. internet may be nil, in which case
 // ASN resolution is skipped.
@@ -211,6 +259,96 @@ func New(clock simclock.Clock, graph *socialgraph.Store, oauth *oauthsim.Server,
 	}
 }
 
+// SetObserver wires telemetry into the API: a span tree per request
+// (graphapi.<op> → oauth.validate / defense.chain / shard.apply), request
+// counters by op and error code, and per-op latency histograms. Policy
+// denials also land in defense_actions_total so the countermeasure
+// timeline (Figure 5) is reconstructable from /metrics alone.
+func (a *API) SetObserver(o *obs.Observer) {
+	a.obs = o
+	a.reqCount = o.M().Counter("graphapi_requests_total",
+		"Graph API calls, by operation and numeric error code (0 = success).",
+		"op", "code")
+	a.reqLatency = o.M().Histogram("graphapi_request_seconds",
+		"Graph API call latency in seconds, by operation.",
+		nil, "op")
+	a.defenseActions = o.M().Counter("defense_actions_total",
+		"Defense actions taken, by countermeasure and action.",
+		"countermeasure", "action")
+	for op, name := range opNames {
+		a.opInst[op] = opInstruments{
+			ok:      a.reqCount.With(name, "0"),
+			latency: a.reqLatency.With(name),
+		}
+	}
+}
+
+// Observer returns the API's observer (nil until SetObserver).
+func (a *API) Observer() *obs.Observer { return a.obs }
+
+// begin opens the root span for one API call, reading the clock once. The
+// returned context carries the span for the children authenticate,
+// evaluate, and applyShard open.
+func (a *API) begin(ctx context.Context, op int) (context.Context, *obs.Span, time.Time) {
+	now := a.clock.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, span := a.obs.T().StartSpanAt(ctx, spanNames[op], now)
+	return ctx, span, now
+}
+
+// finish closes the root span and records the request counter and latency
+// sample. code 0 means success.
+func (a *API) finish(span *obs.Span, op int, start time.Time, err error) {
+	if a.obs == nil {
+		return
+	}
+	end := a.clock.Now()
+	if err == nil {
+		inst := a.opInst[op]
+		if span != nil {
+			span.SetAttr("code", "0")
+			span.EndAt(end)
+		}
+		inst.ok.Inc()
+		inst.latency.Observe(end.Sub(start).Seconds())
+		return
+	}
+	code := strconv.Itoa(ErrCode(err))
+	span.SetAttr("code", code)
+	span.EndAt(end)
+	a.reqCount.Inc(opNames[op], code)
+	a.reqLatency.Observe(end.Sub(start).Seconds(), opNames[op])
+}
+
+// evaluate runs the policy chain under a defense.chain span and counts
+// denials as defense actions. req is a pointer purely to spare the hot
+// path a second ~130-byte Request copy; evaluate does not mutate it.
+func (a *API) evaluate(ctx context.Context, req *Request) Decision {
+	_, span := a.obs.T().StartSpanAt(ctx, "defense.chain", req.At)
+	d := a.chain.Evaluate(*req)
+	if !d.Allow {
+		span.SetAttr("policy", d.Policy)
+		span.Event("deny", "reason", d.Reason)
+		a.defenseActions.Inc(d.Policy, "deny")
+	}
+	span.EndAt(req.At)
+	return d
+}
+
+// applyShard runs a social-graph write under a shard.apply span labelled
+// with the stripe the written object routes to.
+func (a *API) applyShard(ctx context.Context, at time.Time, objectID string, write func() error) error {
+	_, span := a.obs.T().StartSpanAt(ctx, "shard.apply", at)
+	if span != nil {
+		span.SetAttr("shard", strconv.Itoa(a.graph.ShardIndexOf(objectID)))
+	}
+	err := write()
+	span.EndAt(at)
+	return err
+}
+
 // Chain returns the policy chain, for countermeasure deployment.
 func (a *API) Chain() *Chain { return a.chain }
 
@@ -223,19 +361,30 @@ func (a *API) OAuth() *oauthsim.Server { return a.oauth }
 // Registry returns the application registry.
 func (a *API) Registry() *apps.Registry { return a.registry }
 
-// CallContext carries per-call transport attributes.
+// CallContext carries per-call transport attributes. Ctx, when set,
+// carries the caller's trace span so the request joins an existing trace;
+// nil means a fresh trace (context.Background()).
 type CallContext struct {
+	Ctx            context.Context
 	AccessToken    string
 	AppSecretProof string
 	SourceIP       string
 }
 
 // authenticate validates the bearer token and security settings, and
-// builds the policy request skeleton.
-func (a *API) authenticate(ctx CallContext, verb Verb, needScope string) (Request, error) {
-	info, err := a.oauth.Validate(ctx.AccessToken)
+// builds the policy request skeleton. at is the request timestamp the
+// caller already read from the clock.
+func (a *API) authenticate(ctx context.Context, c CallContext, verb Verb, needScope string, at time.Time) (Request, error) {
+	_, span := a.obs.T().StartSpanAt(ctx, "oauth.validate", at)
+	defer span.EndAt(at)
+	info, err := a.oauth.Validate(c.AccessToken)
 	if err != nil {
+		span.Event("invalid-token")
 		return Request{}, apiErr(CodeInvalidToken, "OAuthException", "%v", err)
+	}
+	if span != nil {
+		span.SetAttr("app", info.AppID)
+		span.SetAttr("token", redact.Token(c.AccessToken))
 	}
 	app, err := a.registry.Get(info.AppID)
 	if err != nil {
@@ -244,7 +393,7 @@ func (a *API) authenticate(ctx CallContext, verb Verb, needScope string) (Reques
 	if app.Suspended {
 		return Request{}, apiErr(CodeAppSuspended, "OAuthException", "application %s is disabled", app.ID)
 	}
-	if err := a.oauth.VerifySecretProof(info, ctx.AppSecretProof); err != nil {
+	if err := a.oauth.VerifySecretProof(info, c.AppSecretProof); err != nil {
 		return Request{}, apiErr(CodeSecretProof, "GraphMethodException", "%v", err)
 	}
 	if needScope != "" && !info.HasScope(needScope) {
@@ -254,11 +403,11 @@ func (a *API) authenticate(ctx CallContext, verb Verb, needScope string) (Reques
 		Verb:     verb,
 		Token:    info,
 		App:      app,
-		SourceIP: ctx.SourceIP,
-		At:       a.clock.Now(),
+		SourceIP: c.SourceIP,
+		At:       at,
 	}
-	if a.internet != nil && ctx.SourceIP != "" {
-		if as, ok := a.internet.LookupASString(ctx.SourceIP); ok {
+	if a.internet != nil && c.SourceIP != "" {
+		if as, ok := a.internet.LookupASString(c.SourceIP); ok {
 			req.ASN = as.Number
 		}
 	}
@@ -266,8 +415,10 @@ func (a *API) authenticate(ctx CallContext, verb Verb, needScope string) (Reques
 }
 
 // Me returns the public profile of the token's account.
-func (a *API) Me(ctx CallContext) (socialgraph.Account, error) {
-	req, err := a.authenticate(ctx, VerbRead, "")
+func (a *API) Me(c CallContext) (_ socialgraph.Account, err error) {
+	ctx, span, start := a.begin(c.Ctx, opMe)
+	defer func() { a.finish(span, opMe, start, err) }()
+	req, err := a.authenticate(ctx, c, VerbRead, "", start)
 	if err != nil {
 		return socialgraph.Account{}, err
 	}
@@ -279,90 +430,111 @@ func (a *API) Me(ctx CallContext) (socialgraph.Account, error) {
 }
 
 // Like publishes a like on objectID on behalf of the token's account.
-func (a *API) Like(ctx CallContext, objectID string) error {
-	req, err := a.authenticate(ctx, VerbLike, apps.PermPublishActions)
+func (a *API) Like(c CallContext, objectID string) (err error) {
+	ctx, span, start := a.begin(c.Ctx, opLike)
+	defer func() { a.finish(span, opLike, start, err) }()
+	span.SetAttr("object", objectID)
+	req, err := a.authenticate(ctx, c, VerbLike, apps.PermPublishActions, start)
 	if err != nil {
 		return err
 	}
 	req.ObjectID = objectID
-	if d := a.chain.Evaluate(req); !d.Allow {
+	if d := a.evaluate(ctx, &req); !d.Allow {
 		return a.denialError(d)
 	}
-	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: ctx.SourceIP, At: req.At}
-	switch err := a.graph.AddLike(req.Token.AccountID, objectID, meta); {
-	case err == nil:
+	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: c.SourceIP, At: req.At}
+	writeErr := a.applyShard(ctx, req.At, objectID, func() error {
+		return a.graph.AddLike(req.Token.AccountID, objectID, meta)
+	})
+	switch {
+	case writeErr == nil:
 		return nil
-	case errors.Is(err, socialgraph.ErrAlreadyLiked):
+	case errors.Is(writeErr, socialgraph.ErrAlreadyLiked):
 		return apiErr(CodeDuplicate, "GraphMethodException", "duplicate like")
-	case errors.Is(err, socialgraph.ErrSuspended):
+	case errors.Is(writeErr, socialgraph.ErrSuspended):
 		return apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
-	case errors.Is(err, socialgraph.ErrInvalidReference), errors.Is(err, socialgraph.ErrNotFound):
+	case errors.Is(writeErr, socialgraph.ErrInvalidReference), errors.Is(writeErr, socialgraph.ErrNotFound):
 		return apiErr(CodeNotFound, "GraphMethodException", "unknown object %s", objectID)
 	default:
-		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", writeErr)
 	}
 }
 
 // Unlike removes the token account's like from an object — the write
 // Facebook exposes as DELETE /{object}/likes. It is policy-checked like
 // any other write.
-func (a *API) Unlike(ctx CallContext, objectID string) error {
-	req, err := a.authenticate(ctx, VerbLike, apps.PermPublishActions)
+func (a *API) Unlike(c CallContext, objectID string) (err error) {
+	ctx, span, start := a.begin(c.Ctx, opUnlike)
+	defer func() { a.finish(span, opUnlike, start, err) }()
+	req, err := a.authenticate(ctx, c, VerbLike, apps.PermPublishActions, start)
 	if err != nil {
 		return err
 	}
 	req.ObjectID = objectID
-	if d := a.chain.Evaluate(req); !d.Allow {
+	if d := a.evaluate(ctx, &req); !d.Allow {
 		return a.denialError(d)
 	}
-	switch err := a.graph.RemoveLike(req.Token.AccountID, objectID); {
-	case err == nil:
+	writeErr := a.applyShard(ctx, req.At, objectID, func() error {
+		return a.graph.RemoveLike(req.Token.AccountID, objectID)
+	})
+	switch {
+	case writeErr == nil:
 		return nil
-	case errors.Is(err, socialgraph.ErrNotLiked):
+	case errors.Is(writeErr, socialgraph.ErrNotLiked):
 		return apiErr(CodeNotFound, "GraphMethodException", "no like to remove")
 	default:
-		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", writeErr)
 	}
 }
 
 // Comment publishes a comment on a post on behalf of the token's account.
-func (a *API) Comment(ctx CallContext, postID, message string) (socialgraph.Comment, error) {
-	req, err := a.authenticate(ctx, VerbComment, apps.PermPublishActions)
+func (a *API) Comment(c CallContext, postID, message string) (_ socialgraph.Comment, err error) {
+	ctx, span, start := a.begin(c.Ctx, opComment)
+	defer func() { a.finish(span, opComment, start, err) }()
+	span.SetAttr("object", postID)
+	req, err := a.authenticate(ctx, c, VerbComment, apps.PermPublishActions, start)
 	if err != nil {
 		return socialgraph.Comment{}, err
 	}
 	req.ObjectID = postID
 	req.Message = message
-	if d := a.chain.Evaluate(req); !d.Allow {
+	if d := a.evaluate(ctx, &req); !d.Allow {
 		return socialgraph.Comment{}, a.denialError(d)
 	}
-	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: ctx.SourceIP, At: req.At}
-	c, err := a.graph.AddComment(req.Token.AccountID, postID, message, meta)
+	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: c.SourceIP, At: req.At}
+	var cm socialgraph.Comment
+	writeErr := a.applyShard(ctx, req.At, postID, func() error {
+		var e error
+		cm, e = a.graph.AddComment(req.Token.AccountID, postID, message, meta)
+		return e
+	})
 	switch {
-	case err == nil:
-		return c, nil
-	case errors.Is(err, socialgraph.ErrSuspended):
+	case writeErr == nil:
+		return cm, nil
+	case errors.Is(writeErr, socialgraph.ErrSuspended):
 		return socialgraph.Comment{}, apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
-	case errors.Is(err, socialgraph.ErrNotFound):
+	case errors.Is(writeErr, socialgraph.ErrNotFound):
 		return socialgraph.Comment{}, apiErr(CodeNotFound, "GraphMethodException", "unknown post %s", postID)
-	case errors.Is(err, socialgraph.ErrEmptyMessage):
+	case errors.Is(writeErr, socialgraph.ErrEmptyMessage):
 		return socialgraph.Comment{}, apiErr(CodeInvalidParam, "GraphMethodException", "empty message")
 	default:
-		return socialgraph.Comment{}, apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+		return socialgraph.Comment{}, apiErr(CodeInvalidParam, "GraphMethodException", "%v", writeErr)
 	}
 }
 
 // Publish creates a status update on the token account's timeline.
-func (a *API) Publish(ctx CallContext, message string) (socialgraph.Post, error) {
-	req, err := a.authenticate(ctx, VerbPost, apps.PermPublishActions)
+func (a *API) Publish(c CallContext, message string) (_ socialgraph.Post, err error) {
+	ctx, span, start := a.begin(c.Ctx, opPublish)
+	defer func() { a.finish(span, opPublish, start, err) }()
+	req, err := a.authenticate(ctx, c, VerbPost, apps.PermPublishActions, start)
 	if err != nil {
 		return socialgraph.Post{}, err
 	}
 	req.Message = message
-	if d := a.chain.Evaluate(req); !d.Allow {
+	if d := a.evaluate(ctx, &req); !d.Allow {
 		return socialgraph.Post{}, a.denialError(d)
 	}
-	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: ctx.SourceIP, At: req.At}
+	meta := socialgraph.WriteMeta{AppID: req.App.ID, SourceIP: c.SourceIP, At: req.At}
 	p, err := a.graph.CreatePost(req.Token.AccountID, message, meta)
 	switch {
 	case err == nil:
@@ -379,8 +551,10 @@ func (a *API) Publish(ctx CallContext, message string) (socialgraph.Post, error)
 // Feed lists the token account's own posts in creation order — the read
 // that premium auto-delivery services poll to discover fresh posts to
 // like without the member logging in (Sec. 5.1).
-func (a *API) Feed(ctx CallContext) ([]socialgraph.Post, error) {
-	req, err := a.authenticate(ctx, VerbRead, "")
+func (a *API) Feed(c CallContext) (_ []socialgraph.Post, err error) {
+	ctx, span, start := a.begin(c.Ctx, opFeed)
+	defer func() { a.finish(span, opFeed, start, err) }()
+	req, err := a.authenticate(ctx, c, VerbRead, "", start)
 	if err != nil {
 		return nil, err
 	}
@@ -390,8 +564,10 @@ func (a *API) Feed(ctx CallContext) ([]socialgraph.Post, error) {
 // Friends lists the token account's friends. It requires the
 // user_friends permission — the scope whose leakage turns token abuse
 // into social-graph harvesting (Sec. 8).
-func (a *API) Friends(ctx CallContext) ([]socialgraph.Account, error) {
-	req, err := a.authenticate(ctx, VerbRead, apps.PermUserFriends)
+func (a *API) Friends(c CallContext) (_ []socialgraph.Account, err error) {
+	ctx, span, start := a.begin(c.Ctx, opFriends)
+	defer func() { a.finish(span, opFriends, start, err) }()
+	req, err := a.authenticate(ctx, c, VerbRead, apps.PermUserFriends, start)
 	if err != nil {
 		return nil, err
 	}
@@ -406,16 +582,20 @@ func (a *API) Friends(ctx CallContext) ([]socialgraph.Account, error) {
 }
 
 // Likes lists the likes on an object (a public read).
-func (a *API) Likes(ctx CallContext, objectID string) ([]socialgraph.Like, error) {
-	if _, err := a.authenticate(ctx, VerbRead, ""); err != nil {
+func (a *API) Likes(c CallContext, objectID string) (_ []socialgraph.Like, err error) {
+	ctx, span, start := a.begin(c.Ctx, opLikes)
+	defer func() { a.finish(span, opLikes, start, err) }()
+	if _, err = a.authenticate(ctx, c, VerbRead, "", start); err != nil {
 		return nil, err
 	}
 	return a.graph.Likes(objectID), nil
 }
 
 // Comments lists the comments on a post (a public read).
-func (a *API) Comments(ctx CallContext, postID string) ([]socialgraph.Comment, error) {
-	if _, err := a.authenticate(ctx, VerbRead, ""); err != nil {
+func (a *API) Comments(c CallContext, postID string) (_ []socialgraph.Comment, err error) {
+	ctx, span, start := a.begin(c.Ctx, opComments)
+	defer func() { a.finish(span, opComments, start, err) }()
+	if _, err = a.authenticate(ctx, c, VerbRead, "", start); err != nil {
 		return nil, err
 	}
 	return a.graph.Comments(postID), nil

@@ -1,6 +1,7 @@
 package graphapi
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,27 @@ import (
 	"repro/internal/secrets"
 	"repro/internal/socialgraph"
 )
+
+// NormalizeEndpoint collapses object IDs out of a request path so HTTP
+// metric labels stay bounded: /p123/likes becomes /{object}/likes. Fixed
+// routes pass through unchanged; anything unrecognized becomes /{other}.
+func NormalizeEndpoint(path string) string {
+	switch path {
+	case "/dialog/oauth", "/oauth/access_token", "/me", "/me/feed",
+		"/me/friends", "/debug_token", "/batch":
+		return path
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 2 {
+		switch parts[1] {
+		case "likes":
+			return "/{object}/likes"
+		case "comments":
+			return "/{object}/comments"
+		}
+	}
+	return "/{other}"
+}
 
 // Edge pagination, Facebook-style: list responses carry at most `limit`
 // entries (default 25, max 100) plus a paging envelope with an opaque
@@ -179,6 +201,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 // peer address.
 func callContext(r *http.Request) CallContext {
 	ctx := CallContext{
+		Ctx:            r.Context(),
 		AccessToken:    r.FormValue("access_token"),
 		AppSecretProof: r.FormValue("appsecret_proof"),
 	}
@@ -409,15 +432,16 @@ func (h *httpAPI) batch(w http.ResponseWriter, r *http.Request) {
 
 	results := make([]batchResult, len(ops))
 	for i, op := range ops {
-		results[i] = h.runBatchOp(op, defaultToken, fwd)
+		results[i] = h.runBatchOp(r.Context(), op, defaultToken, fwd)
 	}
 	writeJSON(w, results)
 }
 
 // runBatchOp executes one batched operation by replaying it through the
 // full handler stack, so policies, attribution, and error envelopes are
-// identical to standalone requests.
-func (h *httpAPI) runBatchOp(op batchOp, defaultToken, fwd string) batchResult {
+// identical to standalone requests. ctx is the outer request's context, so
+// batched operations stay on the batch's trace.
+func (h *httpAPI) runBatchOp(ctx context.Context, op batchOp, defaultToken, fwd string) batchResult {
 	target := "/" + strings.TrimLeft(op.RelativeURL, "/")
 	body := op.Body
 	if defaultToken != "" && !strings.Contains(body, "access_token=") && !strings.Contains(target, "access_token=") {
@@ -451,6 +475,7 @@ func (h *httpAPI) runBatchOp(op batchOp, defaultToken, fwd string) batchResult {
 	if err != nil {
 		return batchResult{Code: http.StatusBadRequest, Body: `{"error":{"message":"bad batch operation"}}`}
 	}
+	req = req.WithContext(ctx)
 	if fwd != "" {
 		req.Header.Set("X-Forwarded-For", fwd)
 	}

@@ -10,13 +10,15 @@ package metrics
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a concurrency-safe monotonic counter.
+// Counter is a concurrency-safe monotonic counter. It is a single atomic
+// word — it sits on the per-like hot path now that registry counters in
+// internal/obs wrap it.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by delta (which must be non-negative).
@@ -24,20 +26,14 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		panic("metrics: negative Counter.Add")
 	}
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
+	c.n.Add(delta)
 }
 
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Series accumulates values into fixed-width time buckets anchored at an
 // origin instant. Bucket 0 covers [origin, origin+width).

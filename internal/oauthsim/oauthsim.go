@@ -29,6 +29,8 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/redact"
 	"repro/internal/secrets"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
@@ -140,6 +142,11 @@ type Server struct {
 	// invalidation (Sec. 6.2 invalidates all tokens of milked accounts).
 	byAccount map[string]map[string]bool
 	codes     map[string]authCode
+
+	// Telemetry, wired by SetObserver; nil-safe no-ops until then.
+	obs         *obs.Observer
+	issued      *obs.CounterVec // oauth_tokens_issued_total{app}
+	invalidated *obs.CounterVec // oauth_tokens_invalidated_total{reason}
 }
 
 // NewServer returns an authorization server bound to the app registry and
@@ -153,6 +160,17 @@ func NewServer(clock simclock.Clock, registry *apps.Registry, graph *socialgraph
 		byAccount: make(map[string]map[string]bool),
 		codes:     make(map[string]authCode),
 	}
+}
+
+// SetObserver wires telemetry: token grant/revocation counters and a span
+// per issued token (the root of the oauth → graphapi trace when issuance
+// itself is what's being followed).
+func (s *Server) SetObserver(o *obs.Observer) {
+	s.obs = o
+	s.issued = o.M().Counter("oauth_tokens_issued_total",
+		"Access tokens issued, by application.", "app")
+	s.invalidated = o.M().Counter("oauth_tokens_invalidated_total",
+		"Access tokens administratively revoked, by reason.", "reason")
 }
 
 // Authorize processes an authorization-dialog approval and returns the
@@ -282,9 +300,24 @@ func (s *Server) ExchangeForLongLived(appID, appSecret, token string) (TokenInfo
 	}
 	acct[long.Token] = true
 	s.mu.Unlock()
+	s.noteIssued(appID, long.Token, "long-lived")
 	out := *long
 	out.Scopes = append([]string(nil), long.Scopes...)
 	return out, nil
+}
+
+// noteIssued records one token grant: a counter bump and an oauth.issue
+// span carrying the app and the redacted token prefix.
+func (s *Server) noteIssued(appID, token, grant string) {
+	if s.obs == nil {
+		return
+	}
+	s.issued.Inc(appID)
+	_, span := s.obs.T().StartSpan(nil, "oauth.issue")
+	span.SetAttr("app", appID)
+	span.SetAttr("grant", grant)
+	span.SetAttr("token", redact.Token(token))
+	span.End()
 }
 
 // issue mints and records a token for the account/app pair.
@@ -307,6 +340,7 @@ func (s *Server) issue(accountID string, app apps.App, scopes []string) TokenInf
 	}
 	acct[info.Token] = true
 	s.mu.Unlock()
+	s.noteIssued(app.ID, info.Token, "user")
 	return *info
 }
 
@@ -334,13 +368,15 @@ func (s *Server) Validate(token string) (TokenInfo, error) {
 // a no-op and reports false.
 func (s *Server) Invalidate(token, reason string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	info, ok := s.tokens[token]
 	if !ok || info.Invalidated {
+		s.mu.Unlock()
 		return false
 	}
 	info.Invalidated = true
 	info.InvalidReason = reason
+	s.mu.Unlock()
+	s.invalidated.Inc(reason)
 	return true
 }
 
@@ -348,7 +384,6 @@ func (s *Server) Invalidate(token, reason string) bool {
 // many were revoked.
 func (s *Server) InvalidateAccount(accountID, reason string) int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
 	for token := range s.byAccount[accountID] {
 		info := s.tokens[token]
@@ -357,6 +392,10 @@ func (s *Server) InvalidateAccount(accountID, reason string) int {
 			info.InvalidReason = reason
 			n++
 		}
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.invalidated.Add(int64(n), reason)
 	}
 	return n
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Trace-propagation headers carried by the HTTP transports. A client that
+// holds an open span sets both; the serving middleware joins the trace via
+// StartSpanRemote so one like stays on one trace ID across processes.
+const (
+	HeaderTraceID    = "X-Trace-Id"
+	HeaderParentSpan = "X-Parent-Span"
+)
+
+// statusRecorder captures the status code written by the wrapped handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware wraps next with request telemetry: a span named
+// "<prefix>.request" joining any propagated trace, plus
+// <prefix>_http_requests_total{endpoint,status} and
+// <prefix>_http_request_seconds{endpoint}. endpointFn normalizes the URL
+// path to a bounded label set (object IDs collapse to placeholders); nil
+// uses the raw path. A nil Observer returns next unchanged.
+func (o *Observer) Middleware(next http.Handler, prefix string, endpointFn func(path string) string) http.Handler {
+	if o == nil {
+		return next
+	}
+	if endpointFn == nil {
+		endpointFn = func(path string) string { return path }
+	}
+	requests := o.M().Counter(prefix+"_http_requests_total",
+		"HTTP requests served, by normalized endpoint and status code.",
+		"endpoint", "status")
+	latency := o.M().Histogram(prefix+"_http_request_seconds",
+		"HTTP request latency in seconds, by normalized endpoint.",
+		nil, "endpoint")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := o.T().StartSpanRemote(r.Context(), prefix+".request",
+			r.Header.Get(HeaderTraceID), r.Header.Get(HeaderParentSpan))
+		endpoint := endpointFn(r.URL.Path)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("endpoint", endpoint)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := o.T().now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := o.T().now().Sub(start)
+
+		span.SetAttr("status", itoa(rec.status))
+		span.End()
+		requests.Inc(endpoint, itoa(rec.status))
+		latency.Observe(elapsed.Seconds(), endpoint)
+	})
+}
+
+// itoa avoids strconv on the request path for the common 3-digit case.
+func itoa(n int) string {
+	if n >= 100 && n < 1000 {
+		return string([]byte{byte('0' + n/100), byte('0' + n/10%10), byte('0' + n%10)})
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if i == len(buf) {
+		i--
+		buf[i] = '0'
+	}
+	return string(buf[i:])
+}
+
+// MetricsHandler serves the registry in Prometheus text exposition format.
+func (o *Observer) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.M().WriteText(w)
+	})
+}
+
+// TracesHandler serves the retained spans as JSONL, oldest first.
+func (o *Observer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = o.T().WriteJSONL(w)
+	})
+}
+
+// RegisterDebug mounts the observability surfaces on mux: /metrics,
+// /debug/traces, and the net/http/pprof profiling endpoints.
+func (o *Observer) RegisterDebug(mux *http.ServeMux) {
+	mux.Handle("/metrics", o.MetricsHandler())
+	mux.Handle("/debug/traces", o.TracesHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestMiddleware(t *testing.T) {
+	clock := simclock.NewSimulated(traceEpoch)
+	o := New(clock)
+	handler := o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	}), "api", func(path string) string {
+		if strings.HasPrefix(path, "/post") {
+			return "/{object}"
+		}
+		return path
+	})
+
+	for _, path := range []string{"/post1", "/post2", "/missing"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+	}
+
+	var b strings.Builder
+	if err := o.M().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`api_http_requests_total{endpoint="/{object}",status="200"} 2`,
+		`api_http_requests_total{endpoint="/missing",status="404"} 1`,
+		`api_http_request_seconds_count{endpoint="/{object}"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	spans := o.T().Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	attrs := map[string]string{}
+	for _, a := range spans[2].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["status"] != "404" || attrs["endpoint"] != "/missing" || attrs["method"] != "GET" {
+		t.Errorf("span attrs = %v", attrs)
+	}
+}
+
+// TestMiddlewareJoinsRemoteTrace verifies a propagated X-Trace-Id /
+// X-Parent-Span pair keeps the server-side span on the caller's trace.
+func TestMiddlewareJoinsRemoteTrace(t *testing.T) {
+	o := New(simclock.NewSimulated(traceEpoch))
+	handler := o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The joined span must be visible to the handler for nesting.
+		if s := SpanFromContext(r.Context()); s == nil || s.TraceID != "t0000beef" {
+			t.Errorf("handler span = %+v", s)
+		}
+	}), "api", nil)
+
+	req := httptest.NewRequest("POST", "/x/likes", nil)
+	req.Header.Set(HeaderTraceID, "t0000beef")
+	req.Header.Set(HeaderParentSpan, "s0000beef")
+	handler.ServeHTTP(httptest.NewRecorder(), req)
+
+	spans := o.T().Spans()
+	if len(spans) != 1 || spans[0].Trace != "t0000beef" || spans[0].Parent != "s0000beef" {
+		t.Errorf("spans = %+v", spans)
+	}
+}
+
+func TestMiddlewareLatencyUsesInjectedClock(t *testing.T) {
+	clock := simclock.NewSimulated(traceEpoch)
+	o := New(clock)
+	handler := o.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		clock.Advance(250 * time.Millisecond)
+	}), "api", nil)
+	handler.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/me", nil))
+
+	var b strings.Builder
+	if err := o.M().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	// 0.25s lands exactly on the le="0.25" default bucket boundary.
+	if !strings.Contains(b.String(), `api_http_request_seconds_bucket{endpoint="/me",le="0.25"} 1`) {
+		t.Errorf("latency not measured in simulated time:\n%s", b.String())
+	}
+}
+
+func TestRegisterDebug(t *testing.T) {
+	o := New(simclock.NewSimulated(traceEpoch))
+	o.M().Counter("x_total", "X.").Inc()
+	_, s := o.T().StartSpan(nil, "a")
+	s.End()
+
+	mux := http.NewServeMux()
+	o.RegisterDebug(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, b.String()
+	}
+
+	resp, body := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "x_total 1") {
+		t.Errorf("/metrics body = %q", body)
+	}
+
+	_, body = get("/debug/traces")
+	if !strings.Contains(body, `"name":"a"`) {
+		t.Errorf("/debug/traces body = %q", body)
+	}
+
+	resp, _ = get("/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+func TestNilObserver(t *testing.T) {
+	var o *Observer
+	if o.T() != nil || o.M() != nil {
+		t.Error("nil observer returned live components")
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := o.Middleware(inner, "api", nil); got == nil {
+		t.Error("nil observer Middleware returned nil handler")
+	}
+}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/redact"
 )
 
@@ -123,6 +125,36 @@ func (c *HTTPClient) do(method, path string, form url.Values, ip string) (*http.
 	return c.http.Do(req)
 }
 
+// doCtx is do with trace propagation: the span carried by ctx (if any) is
+// advertised via the X-Trace-Id / X-Parent-Span headers.
+func (c *HTTPClient) doCtx(ctx context.Context, method, path string, form url.Values, ip string) (*http.Response, error) {
+	var req *http.Request
+	var err error
+	if method == http.MethodPost {
+		req, err = http.NewRequest(method, c.base+path, strings.NewReader(form.Encode()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		u := c.base + path
+		if len(form) > 0 {
+			u += "?" + form.Encode()
+		}
+		req, err = http.NewRequest(method, u, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ip != "" {
+		req.Header.Set("X-Forwarded-For", ip)
+	}
+	if span := obs.SpanFromContext(ctx); span != nil {
+		req.Header.Set(obs.HeaderTraceID, span.TraceID)
+		req.Header.Set(obs.HeaderParentSpan, span.SpanID)
+	}
+	return c.http.Do(req)
+}
+
 // Me implements Client.
 func (c *HTTPClient) Me(token, ip string) (Profile, error) {
 	resp, err := c.do(http.MethodGet, "/me", url.Values{"access_token": {token}}, ip)
@@ -146,7 +178,14 @@ func (c *HTTPClient) Me(token, ip string) (Profile, error) {
 
 // Like implements Client.
 func (c *HTTPClient) Like(token, objectID, ip string) error {
-	resp, err := c.do(http.MethodPost, "/"+objectID+"/likes", url.Values{"access_token": {token}}, ip)
+	return c.LikeCtx(nil, token, objectID, ip)
+}
+
+// LikeCtx implements ContextClient: when ctx carries a span, the request
+// ships its trace ID in the propagation headers so the server-side span
+// tree joins the caller's trace.
+func (c *HTTPClient) LikeCtx(ctx context.Context, token, objectID, ip string) error {
+	resp, err := c.doCtx(ctx, http.MethodPost, "/"+objectID+"/likes", url.Values{"access_token": {token}}, ip)
 	if err != nil {
 		return err
 	}
@@ -159,8 +198,13 @@ func (c *HTTPClient) Like(token, objectID, ip string) error {
 
 // Comment implements Client.
 func (c *HTTPClient) Comment(token, postID, message, ip string) (string, error) {
+	return c.CommentCtx(nil, token, postID, message, ip)
+}
+
+// CommentCtx implements ContextClient.
+func (c *HTTPClient) CommentCtx(ctx context.Context, token, postID, message, ip string) (string, error) {
 	form := url.Values{"access_token": {token}, "message": {message}}
-	resp, err := c.do(http.MethodPost, "/"+postID+"/comments", form, ip)
+	resp, err := c.doCtx(ctx, http.MethodPost, "/"+postID+"/comments", form, ip)
 	if err != nil {
 		return "", err
 	}

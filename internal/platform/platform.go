@@ -14,15 +14,18 @@
 package platform
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/graphapi"
 	"repro/internal/netsim"
 	"repro/internal/oauthsim"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
 )
@@ -50,6 +53,7 @@ type Platform struct {
 	OAuth    *oauthsim.Server
 	API      *graphapi.API
 	Internet *netsim.Internet
+	Obs      *obs.Observer
 }
 
 // New assembles a platform. internet may be nil to skip AS resolution.
@@ -68,6 +72,10 @@ func NewWithShards(clock simclock.Clock, internet *netsim.Internet, shards int) 
 	registry := apps.NewRegistry()
 	oauth := oauthsim.NewServer(clock, registry, graph)
 	api := graphapi.New(clock, graph, oauth, registry, internet, graphapi.NewChain())
+	observer := obs.New(clock)
+	api.SetObserver(observer)
+	oauth.SetObserver(observer)
+	registerGraphCollectors(observer, graph)
 	return &Platform{
 		Clock:    clock,
 		Graph:    graph,
@@ -75,12 +83,36 @@ func NewWithShards(clock simclock.Clock, internet *netsim.Internet, shards int) 
 		OAuth:    oauth,
 		API:      api,
 		Internet: internet,
+		Obs:      observer,
 	}
 }
 
-// Handler returns the platform's HTTP surface.
+// registerGraphCollectors exports the store's per-shard lock counters at
+// scrape time, so the contention the sharding PR measured in test logs is
+// a first-class /metrics family.
+func registerGraphCollectors(o *obs.Observer, graph *socialgraph.Store) {
+	o.M().Collector("socialgraph_shard_lock_total",
+		"Shard lock acquisitions, by stripe and outcome (fast = uncontended try-lock, contended = blocked).",
+		obs.KindCounter, []string{"shard", "outcome"},
+		func() []obs.Sample {
+			points := graph.Contention().Snapshot()
+			out := make([]obs.Sample, 0, 2*len(points))
+			for _, pt := range points {
+				shard := strconv.Itoa(pt.Shard)
+				out = append(out,
+					obs.Sample{Labels: []string{shard, "contended"}, Value: float64(pt.Contended)},
+					obs.Sample{Labels: []string{shard, "fast"}, Value: float64(pt.Acquired - pt.Contended)},
+				)
+			}
+			return out
+		})
+}
+
+// Handler returns the platform's HTTP surface, wrapped in the
+// observability middleware (per-endpoint request counts and latency,
+// trace joining via the X-Trace-Id header).
 func (p *Platform) Handler() http.Handler {
-	return graphapi.Handler(p.API)
+	return p.Obs.Middleware(graphapi.Handler(p.API), "graphapi", graphapi.NormalizeEndpoint)
 }
 
 // ServeHTTPTest starts an httptest server for the platform. The caller
@@ -148,6 +180,17 @@ type PostRecord struct {
 	At      time.Time
 }
 
+// ContextClient is the optional extension of Client for transports that
+// can propagate a trace context into a write: the local transport passes
+// the caller's span through CallContext.Ctx; the HTTP transport carries it
+// in the X-Trace-Id / X-Parent-Span headers. Delivery engines type-assert
+// for it and fall back to the plain methods, so Client implementations
+// outside this package keep working unchanged.
+type ContextClient interface {
+	LikeCtx(ctx context.Context, token, objectID, ip string) error
+	CommentCtx(ctx context.Context, token, postID, message, ip string) (string, error)
+}
+
 // LocalClient implements Client with direct in-process calls.
 type LocalClient struct {
 	p *Platform
@@ -187,9 +230,24 @@ func (c *LocalClient) Like(token, objectID, ip string) error {
 	return c.p.API.Like(graphapi.CallContext{AccessToken: token, SourceIP: ip}, objectID)
 }
 
+// LikeCtx implements ContextClient: the like joins the trace carried by
+// ctx.
+func (c *LocalClient) LikeCtx(ctx context.Context, token, objectID, ip string) error {
+	return c.p.API.Like(graphapi.CallContext{Ctx: ctx, AccessToken: token, SourceIP: ip}, objectID)
+}
+
 // Comment implements Client.
 func (c *LocalClient) Comment(token, postID, message, ip string) (string, error) {
 	cm, err := c.p.API.Comment(graphapi.CallContext{AccessToken: token, SourceIP: ip}, postID, message)
+	if err != nil {
+		return "", err
+	}
+	return cm.ID, nil
+}
+
+// CommentCtx implements ContextClient.
+func (c *LocalClient) CommentCtx(ctx context.Context, token, postID, message, ip string) (string, error) {
+	cm, err := c.p.API.Comment(graphapi.CallContext{Ctx: ctx, AccessToken: token, SourceIP: ip}, postID, message)
 	if err != nil {
 		return "", err
 	}

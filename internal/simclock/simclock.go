@@ -13,6 +13,7 @@ package simclock
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -85,21 +86,34 @@ func (h *waiterHeap) Pop() any {
 // AdvanceTo is called. It is safe for concurrent use.
 type Simulated struct {
 	mu      sync.Mutex
-	now     time.Time
+	base    time.Time    // construction instant; immutable after NewSimulated
+	offset  atomic.Int64 // nanoseconds advanced past base
 	waiters waiterHeap
 	seq     uint64
 }
 
 // NewSimulated returns a Simulated clock initialised to start.
 func NewSimulated(start time.Time) *Simulated {
-	return &Simulated{now: start}
+	return &Simulated{base: start}
 }
 
-// Now implements Clock.
+// Now implements Clock. It is lock-free: simulated time is the immutable
+// base plus an atomically-published offset, so the hottest call in the
+// whole simulation (every like reads the clock) never contends with
+// concurrent readers or an in-flight Advance.
 func (s *Simulated) Now() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return s.base.Add(time.Duration(s.offset.Load()))
+}
+
+// nowLocked returns the current instant; callers hold s.mu.
+func (s *Simulated) nowLocked() time.Time {
+	return s.base.Add(time.Duration(s.offset.Load()))
+}
+
+// setNowLocked publishes a new current instant; callers hold s.mu and
+// never move time backwards.
+func (s *Simulated) setNowLocked(t time.Time) {
+	s.offset.Store(int64(t.Sub(s.base)))
 }
 
 // After implements Clock. The returned channel has capacity 1, so the
@@ -108,12 +122,13 @@ func (s *Simulated) After(d time.Duration) <-chan time.Time {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ch := make(chan time.Time, 1)
+	now := s.nowLocked()
 	if d <= 0 {
-		ch <- s.now
+		ch <- now
 		return ch
 	}
 	s.seq++
-	heap.Push(&s.waiters, &waiter{deadline: s.now.Add(d), ch: ch, seq: s.seq})
+	heap.Push(&s.waiters, &waiter{deadline: now.Add(d), ch: ch, seq: s.seq})
 	return ch
 }
 
@@ -130,7 +145,7 @@ func (s *Simulated) Advance(d time.Duration) {
 		panic("simclock: negative advance")
 	}
 	s.mu.Lock()
-	target := s.now.Add(d)
+	target := s.nowLocked().Add(d)
 	s.advanceToLocked(target)
 	s.mu.Unlock()
 }
@@ -138,7 +153,7 @@ func (s *Simulated) Advance(d time.Duration) {
 // AdvanceTo moves the clock forward to t. Moving backwards is a no-op.
 func (s *Simulated) AdvanceTo(t time.Time) {
 	s.mu.Lock()
-	if t.After(s.now) {
+	if t.After(s.nowLocked()) {
 		s.advanceToLocked(t)
 	}
 	s.mu.Unlock()
@@ -150,10 +165,10 @@ func (s *Simulated) advanceToLocked(target time.Time) {
 		// Deliver the waiter's own deadline so steps observe monotonically
 		// non-decreasing times even when several deadlines fire in one
 		// Advance call.
-		s.now = w.deadline
+		s.setNowLocked(w.deadline)
 		w.ch <- w.deadline
 	}
-	s.now = target
+	s.setNowLocked(target)
 }
 
 // PendingWaiters reports how many After/Sleep registrations have not fired

@@ -109,6 +109,13 @@ func (s *Store) shardIndex(id string) int {
 	return int(fnv32a(id) & s.mask)
 }
 
+// ShardIndexOf exposes the stripe an ID routes to, so instrumentation can
+// label spans and metrics with the shard a write landed on without
+// duplicating the routing hash.
+func (s *Store) ShardIndexOf(id string) int {
+	return s.shardIndex(id)
+}
+
 // shardFor returns the stripe owning id.
 func (s *Store) shardFor(id string) *shard {
 	return s.shards[s.shardIndex(id)]

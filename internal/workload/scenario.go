@@ -249,9 +249,14 @@ func (s *Scenario) buildNetwork(spec NetworkSpec, ordinal int64) (*NetworkInstan
 	}
 	cfg.OutageDays = append(cfg.OutageDays, s.Opts.ExtraOutageDays[spec.Name]...)
 
+	net := collusion.NewNetwork(cfg, s.Clock, s.Client)
+	// Delivery bursts land in the platform's trace buffer and per-network
+	// counters; the network is attacker-side, but the measurement vantage
+	// point (this reproduction) sees both sides, as the paper's did.
+	net.SetObserver(s.Platform.Obs)
 	ni := &NetworkInstance{
 		Spec:             spec,
-		Net:              collusion.NewNetwork(cfg, s.Clock, s.Client),
+		Net:              net,
 		ScaledMembership: ScaledMembership(spec, s.Opts.Scale, s.Opts.MinMembers),
 		ShortCode:        s.ShortURLs.Shorten("https://platform.example/dialog/oauth?client_id=" + app.ID),
 		scenario:         s,
