@@ -326,6 +326,39 @@ func BenchmarkGraphAPILike(b *testing.B) {
 	}
 }
 
+// BenchmarkAddLikeBatch measures the store-level batch apply: one burst
+// of 50 distinct likers on a fresh post per iteration, a single call and
+// one lock scope. BenchmarkGraphAPILike is the per-call comparator (one
+// like, two lock scopes, per call).
+func BenchmarkAddLikeBatch(b *testing.B) {
+	const burst = 50
+	w := newBenchWorld(b, burst)
+	graph := w.p.Graph
+	accounts := make([]string, burst)
+	for i := range accounts {
+		acct := graph.CreateAccount(fmt.Sprintf("batch-liker-%d", i), "IN", w.clock.Now())
+		accounts[i] = acct.ID
+	}
+	meta := socialgraph.WriteMeta{SourceIP: "192.0.2.1", At: w.clock.Now()}
+	ops := make([]socialgraph.LikeOp, burst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post, err := graph.CreatePost(w.post.AuthorID, "p", socialgraph.WriteMeta{At: w.clock.Now()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, acct := range accounts {
+			ops[j] = socialgraph.LikeOp{AccountID: acct, ObjectID: post.ID, Meta: meta}
+		}
+		for _, err := range graph.AddLikeBatch(ops) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(burst, "likes/op")
+}
+
 func BenchmarkOAuthImplicitFlow(b *testing.B) {
 	w := newBenchWorld(b, 1)
 	acct := w.p.Graph.CreateAccount("flow-bench", "IN", w.clock.Now())
@@ -422,13 +455,17 @@ var milkingBenchNetworks = []string{
 	"f8-autoliker.com", "myliker.com", "kdliker.com", "oneliker.com",
 }
 
-func newMilkingBenchStudy(b *testing.B) *core.Study {
+// newMilkingBenchStudy builds the fleet study; batch is the per-network
+// DeliveryBatchSize (0 = the batched default, negative = one transport
+// call per like, the pre-batch driver).
+func newMilkingBenchStudy(b *testing.B, batch int) *core.Study {
 	b.Helper()
 	study, err := core.NewStudy(workload.Options{
-		Scale:      4000,
-		MinMembers: 60,
-		Networks:   milkingBenchNetworks,
-		Seed:       1,
+		Scale:             4000,
+		MinMembers:        60,
+		Networks:          milkingBenchNetworks,
+		Seed:              1,
+		DeliveryBatchSize: batch,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -436,35 +473,21 @@ func newMilkingBenchStudy(b *testing.B) *core.Study {
 	return study
 }
 
-// BenchmarkMilkingSequential milks every network of the fleet one after
-// another, one round per iteration — the pre-sharding driver. Compare
-// against BenchmarkMilkingParallel to see what lock striping plus the
-// worker pool buys on a multi-core runner.
-func BenchmarkMilkingSequential(b *testing.B) {
-	study := newMilkingBenchStudy(b)
+// milkRounds drives one milking round per iteration through milk and
+// reports likes/round (which must not move with the delivery mode: 464
+// on this fleet), the store's contended lock fraction, and shard-lock
+// acquisitions per round. The acquisition count is the deterministic
+// A/B signal between delivery modes: wall-clock differences drown in
+// host jitter on an uncontended box, but batched delivery takes one
+// lock scope per run instead of two stripes per like, which this metric
+// shows directly.
+func milkRounds(b *testing.B, study *core.Study, milk func() []core.MilkResult) {
+	b.Helper()
+	acq0, _ := study.Scenario.Platform.Graph.Contention().Totals()
 	b.ResetTimer()
 	likes := 0
 	for i := 0; i < b.N; i++ {
-		for _, res := range study.MilkAll(1) {
-			if res.Err != nil {
-				b.Fatal(res.Err)
-			}
-			likes += res.Delivered
-		}
-		study.Scenario.Clock.Advance(time.Hour)
-	}
-	b.ReportMetric(float64(likes)/float64(b.N), "likes/round")
-}
-
-// BenchmarkMilkingParallel is the same workload through MilkAllParallel:
-// all networks milked concurrently within each round by a
-// GOMAXPROCS-bounded worker pool against the sharded store.
-func BenchmarkMilkingParallel(b *testing.B) {
-	study := newMilkingBenchStudy(b)
-	b.ResetTimer()
-	likes := 0
-	for i := 0; i < b.N; i++ {
-		for _, res := range study.MilkAllParallel(1, 0) {
+		for _, res := range milk() {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -476,7 +499,34 @@ func BenchmarkMilkingParallel(b *testing.B) {
 	acq, cont := study.Scenario.Platform.Graph.Contention().Totals()
 	if acq > 0 {
 		b.ReportMetric(float64(cont)/float64(acq), "contended-frac")
+		b.ReportMetric(float64(acq-acq0)/float64(b.N), "lock-acq/round")
 	}
+}
+
+// BenchmarkMilkingSequential milks every network of the fleet one after
+// another with batching disabled — the pre-batch, pre-parallel driver
+// and the historical baseline: one transport call and two lock scopes
+// per like.
+func BenchmarkMilkingSequential(b *testing.B) {
+	study := newMilkingBenchStudy(b, -1)
+	milkRounds(b, study, func() []core.MilkResult { return study.MilkAll(1) })
+}
+
+// BenchmarkMilkingBatched is the same sequential round with batched
+// delivery on (the default): bursts travel as ≤50-op batches into one
+// AddLikeBatch apply. Against BenchmarkMilkingSequential this isolates
+// what batching alone buys, with identical likes/round.
+func BenchmarkMilkingBatched(b *testing.B) {
+	study := newMilkingBenchStudy(b, 0)
+	milkRounds(b, study, func() []core.MilkResult { return study.MilkAll(1) })
+}
+
+// BenchmarkMilkingParallel is the full production configuration: all
+// networks milked concurrently within each round by a GOMAXPROCS-bounded
+// worker pool, each burst batched, against the sharded store.
+func BenchmarkMilkingParallel(b *testing.B) {
+	study := newMilkingBenchStudy(b, 0)
+	milkRounds(b, study, func() []core.MilkResult { return study.MilkAllParallel(1, 0) })
 }
 
 func BenchmarkHTTPGraphAPILike(b *testing.B) {

@@ -71,7 +71,10 @@ func TestObservabilityScrape(t *testing.T) {
 	}
 
 	_, tracesBody := get("/debug/traces")
-	for _, want := range []string{"collusion.deliver", "graphapi.like", "oauth.validate", "shard.apply", "milk.round"} {
+	// Delivery batches by default, so the burst's traced chunk roots at
+	// graphapi.like_batch; the per-op like series above still prove the
+	// batched path records op="like" metrics exactly.
+	for _, want := range []string{"collusion.deliver", "graphapi.like_batch", "oauth.validate", "shard.apply", "milk.round"} {
 		if !strings.Contains(tracesBody, `"name":"`+want+`"`) {
 			t.Errorf("/debug/traces missing span %q", want)
 		}

@@ -112,6 +112,63 @@ func peekLocked(sh *shard, id string) int {
 	return sh.data[id] // clean: annotated
 }
 
+// lockOrderedIdx is the sanctioned batch acquire: sort-dedup the index
+// set, then lock ascending in one pass. The annotation exempts the
+// acquire loop — the sort above it is what makes the loop safe.
+//
+//collusionvet:lockorder
+func (s *store) lockOrderedIdx(idxs []int) func() {
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	n := 0
+	for _, v := range idxs {
+		if n == 0 || v != idxs[n-1] {
+			idxs[n] = v
+			n++
+		}
+	}
+	order := idxs[:n]
+	for _, i := range order {
+		s.lockIdx(i)
+	}
+	return func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			s.shards[order[i]].mu.Unlock()
+		}
+	}
+}
+
+// applyBatch is the batch-apply pattern: one lock scope covering the
+// object stripe plus every liker stripe, all taken through the
+// ascending-order batch helper.
+func (s *store) applyBatch(obj string, ids []string) {
+	idxs := []int{s.idx(obj)}
+	for _, id := range ids {
+		idxs = append(idxs, s.idx(id))
+	}
+	unlock := s.lockOrderedIdx(idxs)
+	defer unlock()
+	for _, id := range ids {
+		s.shards[s.idx(id)].data[id]++
+	}
+	s.shards[s.idx(obj)].data[obj]++
+}
+
+// Taking per-op stripes while the object stripe is held — the batch
+// shape lockOrderedIdx exists to prevent.
+func (s *store) applyBatchNested(obj string, ids []string) {
+	x := s.lockIdx(s.idx(obj))
+	defer x.mu.Unlock()
+	for _, id := range ids {
+		y := s.lockIdx(s.idx(id)) // want `while another shard lock is held`
+		y.data[id]++
+		y.mu.Unlock()
+	}
+}
+
 // Inline suppression when the caller pre-sorts indices.
 func (s *store) presorted(i, j int) {
 	x := s.lockIdx(i)

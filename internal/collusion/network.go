@@ -56,7 +56,12 @@ type Network struct {
 	// ctxClient is client's ContextClient view when the transport supports
 	// trace propagation (both built-in transports do), else nil.
 	ctxClient platform.ContextClient
-	epoch     time.Time
+	// batchClient is client's BatchClient view when the transport can
+	// deliver homogeneous like bursts in one call, else nil. Delivery
+	// falls back to per-call likes when nil or when the config disables
+	// batching.
+	batchClient platform.BatchClient
+	epoch       time.Time
 
 	// Telemetry, wired by SetObserver; all instruments are nil-safe
 	// no-ops until then. Counters are pre-bound to this network's name so
@@ -100,11 +105,13 @@ type captchaChallenge struct {
 func NewNetwork(cfg Config, clock simclock.Clock, client platform.Client) *Network {
 	cfg = cfg.withDefaults()
 	ctxClient, _ := client.(platform.ContextClient)
+	batchClient, _ := client.(platform.BatchClient)
 	return &Network{
 		cfg:           cfg,
 		clock:         clock,
 		client:        client,
 		ctxClient:     ctxClient,
+		batchClient:   batchClient,
 		epoch:         clock.Now(),
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		pool:          NewTokenPool(),
@@ -362,7 +369,7 @@ func (n *Network) RequestLikes(accountID, postID, captchaAnswer string) (int, er
 	n.stats.LikeRequests++
 	n.mu.Unlock()
 	quota := n.likesFor(accountID)
-	delivered := n.deliver(nil, quota, accountID, false, func(ctx context.Context, s Sampled, ip string) error {
+	delivered := n.deliver(nil, quota, accountID, false, postID, func(ctx context.Context, s Sampled, ip string) error {
 		return n.like(ctx, s.Token, postID, ip)
 	})
 	return delivered, nil
@@ -398,7 +405,7 @@ func (n *Network) RequestComments(accountID, postID, captchaAnswer string) (int,
 	n.mu.Lock()
 	n.stats.CommentRequests++
 	n.mu.Unlock()
-	delivered := n.deliver(nil, n.cfg.CommentsPerRequest, accountID, true, func(ctx context.Context, s Sampled, ip string) error {
+	delivered := n.deliver(nil, n.cfg.CommentsPerRequest, accountID, true, "", func(ctx context.Context, s Sampled, ip string) error {
 		n.mu.Lock()
 		msg := n.cfg.CommentDictionary[n.rng.Intn(len(n.cfg.CommentDictionary))]
 		n.mu.Unlock()
@@ -427,7 +434,7 @@ func (n *Network) RequestCustomComments(accountID, postID, message, captchaAnswe
 	n.mu.Lock()
 	n.stats.CommentRequests++
 	n.mu.Unlock()
-	delivered := n.deliver(nil, count, accountID, true, func(ctx context.Context, s Sampled, ip string) error {
+	delivered := n.deliver(nil, count, accountID, true, "", func(ctx context.Context, s Sampled, ip string) error {
 		_, err := n.comment(ctx, s.Token, postID, message, ip)
 		return err
 	})
@@ -442,7 +449,14 @@ func (n *Network) RequestCustomComments(accountID, postID, message, captchaAnswe
 // the engine burns through dead tokens to keep its per-request quota,
 // shrinking its pool in the process (the gradual-dip-then-recover
 // dynamics of Figure 5).
-func (n *Network) deliver(ctx context.Context, quota int, requester string, comment bool, act func(context.Context, Sampled, string) error) int {
+//
+// likeObject, when non-empty, names the single object every action of the
+// burst likes; if the transport supports batching and the config has not
+// disabled it, the burst is fired as ≤DeliveryBatchSize batches across a
+// bounded worker pool instead of one call per action. Sampling, the
+// attempt budget, and all per-action bookkeeping are identical in both
+// modes — batching changes only how the actions travel.
+func (n *Network) deliver(ctx context.Context, quota int, requester string, comment bool, likeObject string, act func(context.Context, Sampled, string) error) int {
 	now := n.clock.Now()
 	ctx, span := n.obs.T().StartSpanAt(ctx, "collusion.deliver", now)
 	if span != nil {
@@ -463,6 +477,7 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 	// suppress span creation for the rest: a burst is hundreds of
 	// identical calls, and tracing each one would dominate the round.
 	sampledCtx, restCtx := ctx, obs.UnsampledContext(ctx)
+	batched := !comment && likeObject != "" && n.batchClient != nil && n.cfg.DeliveryBatchSize > 0
 	delivered, attempts := 0, 0
 	// A 1.5× attempt budget: the engine replaces some failures but does
 	// not scour the pool indefinitely, so a half-invalidated pool shows a
@@ -480,6 +495,10 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 		if len(sampled) == 0 {
 			break
 		}
+		if batched {
+			delivered += n.fireBatched(sampledCtx, restCtx, span, likeObject, sampled, exclude, &attempts, now)
+			continue
+		}
 		for _, s := range sampled {
 			exclude[s.AccountID] = true
 			attempts++
@@ -488,39 +507,7 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 			if attempts == 1 {
 				actCtx = sampledCtx
 			}
-			err := act(actCtx, s, ip)
-			n.mu.Lock()
-			if !comment {
-				n.stats.LikesAttempted++
-			}
-			if err == nil {
-				if comment {
-					n.stats.CommentsDelivered++
-				} else {
-					n.stats.LikesDelivered++
-				}
-				delivered++
-				n.mu.Unlock()
-				continue
-			}
-			code := platform.ErrorCode(err)
-			n.stats.FailuresByCode[code]++
-			n.mu.Unlock()
-			span.Event("failure", "code", strconv.Itoa(code))
-			switch code {
-			case graphapi.CodeInvalidToken, graphapi.CodeAccountSuspended:
-				// Dead token: drop the member until they resubmit.
-				if n.pool.Remove(s.AccountID) {
-					n.mu.Lock()
-					n.stats.TokensDropped++
-					n.mu.Unlock()
-					n.tokensDropped.Inc()
-					span.Event("drop-token")
-				}
-			case graphapi.CodeRateLimited:
-				n.noteRateLimited(now)
-				span.Event("rate-limited")
-			}
+			delivered += n.applyOutcome(s, act(actCtx, s, ip), comment, now, span)
 		}
 	}
 	// Scrape counters update once per burst, not once per action: a burst
@@ -536,6 +523,110 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 	if span != nil {
 		span.SetAttr("delivered", strconv.Itoa(delivered))
 		span.EndAt(n.clock.Now())
+	}
+	return delivered
+}
+
+// applyOutcome applies one action's bookkeeping — attempt/delivery stats,
+// failure-code dispatch, dead-token drops, rate-limit notes — and returns
+// 1 when the action was delivered. Both delivery modes funnel every
+// action through here, in sample order, so batching cannot drift from the
+// sequential path's Figure 5 dynamics.
+func (n *Network) applyOutcome(s Sampled, err error, comment bool, now time.Time, span *obs.Span) int {
+	n.mu.Lock()
+	if !comment {
+		n.stats.LikesAttempted++
+	}
+	if err == nil {
+		if comment {
+			n.stats.CommentsDelivered++
+		} else {
+			n.stats.LikesDelivered++
+		}
+		n.mu.Unlock()
+		return 1
+	}
+	code := platform.ErrorCode(err)
+	n.stats.FailuresByCode[code]++
+	n.mu.Unlock()
+	if span != nil {
+		span.Event("failure", "code", strconv.Itoa(code))
+	}
+	switch code {
+	case graphapi.CodeInvalidToken, graphapi.CodeAccountSuspended:
+		// Dead token: drop the member until they resubmit.
+		if n.pool.Remove(s.AccountID) {
+			n.mu.Lock()
+			n.stats.TokensDropped++
+			n.mu.Unlock()
+			n.tokensDropped.Inc()
+			if span != nil {
+				span.Event("drop-token")
+			}
+		}
+	case graphapi.CodeRateLimited:
+		n.noteRateLimited(now)
+		if span != nil {
+			span.Event("rate-limited")
+		}
+	}
+	return 0
+}
+
+// fireBatched delivers one sampled slice as ≤DeliveryBatchSize chunks,
+// fanned across at most DeliveryWorkers goroutines, then replays every
+// per-action outcome through applyOutcome in sample order. The IPs for
+// the whole slice are drawn up front under one n.mu scope, consuming the
+// rng stream exactly as per-action pickIP calls would.
+func (n *Network) fireBatched(sampledCtx, restCtx context.Context, span *obs.Span, objectID string, sampled []Sampled, exclude map[string]bool, attempts *int, now time.Time) int {
+	first := *attempts == 0
+	ips := n.pickIPs(len(sampled))
+	ops := make([]platform.BatchLike, len(sampled))
+	for i, s := range sampled {
+		exclude[s.AccountID] = true
+		ops[i] = platform.BatchLike{Token: s.Token, IP: ips[i]}
+	}
+	*attempts += len(sampled)
+
+	size := n.cfg.DeliveryBatchSize
+	chunks := (len(ops) + size - 1) / size
+	errs := make([]error, len(ops))
+	fire := func(i int) {
+		start := i * size
+		end := start + size
+		if end > len(ops) {
+			end = len(ops)
+		}
+		ctx := restCtx
+		if first && i == 0 {
+			// Trace the first chunk of the burst end to end, like the
+			// sequential path traces its first action.
+			ctx = sampledCtx
+		}
+		copy(errs[start:end], n.batchClient.LikeBatch(ctx, objectID, ops[start:end]))
+	}
+	if workers := n.cfg.DeliveryWorkers; workers <= 1 || chunks <= 1 {
+		for i := 0; i < chunks; i++ {
+			fire(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := 0; i < chunks; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fire(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	delivered := 0
+	for i, s := range sampled {
+		delivered += n.applyOutcome(s, errs[i], false, now, span)
 	}
 	return delivered
 }
@@ -558,6 +649,18 @@ func (n *Network) pickIP() string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.cfg.IPs[n.rng.Intn(len(n.cfg.IPs))]
+}
+
+// pickIPs draws k source addresses under one lock scope, consuming the
+// same deterministic rng stream as k successive pickIP calls.
+func (n *Network) pickIPs(k int) []string {
+	out := make([]string, k)
+	n.mu.Lock()
+	for i := range out {
+		out[i] = n.cfg.IPs[n.rng.Intn(len(n.cfg.IPs))]
+	}
+	n.mu.Unlock()
+	return out
 }
 
 // BuyPlan upgrades a member to a premium plan (Sec. 5.1 monetization).

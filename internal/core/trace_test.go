@@ -51,8 +51,10 @@ func TestMilkingRoundTraceJSONL(t *testing.T) {
 	}
 
 	// One trace must span the full pipeline: collusion delivery →
-	// Graph API like → token validation, defense chain, shard write.
-	want := []string{"collusion.deliver", "graphapi.like", "oauth.validate", "defense.chain", "shard.apply"}
+	// batched Graph API like → token validation, defense chain, shard
+	// write. Delivery batches by default, so the burst's traced chunk
+	// roots at graphapi.like_batch rather than a per-action graphapi.like.
+	want := []string{"collusion.deliver", "graphapi.like_batch", "oauth.validate", "defense.chain", "shard.apply"}
 	complete := false
 	for _, names := range byTrace {
 		ok := true

@@ -249,3 +249,61 @@ func authorizeReqFor(f *fixture, accountID string) oauthsim.AuthorizeRequest {
 		AccountID:    accountID,
 	}
 }
+
+func TestBatchLikeFastPathSourceIP(t *testing.T) {
+	// A homogeneous all-likes batch takes the native LikeBatch lowering;
+	// per-op source_ip must survive it and land in the stored like's
+	// attribution, falling back to the transport IP when absent.
+	f, srv := newHTTPFixture(t)
+	tok := httpToken(t, f, srv)
+	other := f.graph.CreateAccount("fastpath-member", "IN", t0)
+	resB, err := f.oauth.Authorize(authorizeReqFor(f, other.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := fmt.Sprintf(`[
+		{"method":"POST","relative_url":"%s/likes","source_ip":"198.51.100.7"},
+		{"method":"POST","relative_url":"%s/likes","body":"access_token=%s"}
+	]`, f.post.ID, f.post.ID, resB.AccessToken)
+	results := postBatch(t, srv.URL, tok, batch)
+	for i, r := range results {
+		if r.Code != http.StatusOK {
+			t.Fatalf("op %d: %+v", i, r)
+		}
+	}
+	likes := f.graph.Likes(f.post.ID)
+	if len(likes) != 2 {
+		t.Fatalf("likes = %d", len(likes))
+	}
+	if likes[0].SourceIP != "198.51.100.7" {
+		t.Fatalf("per-op source_ip ignored: %q", likes[0].SourceIP)
+	}
+	if likes[1].SourceIP == "198.51.100.7" {
+		t.Fatal("op without source_ip inherited a sibling's IP")
+	}
+}
+
+func TestBatchLikesAcrossObjectsFallsBack(t *testing.T) {
+	// All-POST-likes batches spanning different objects don't fit the
+	// single-object LikeBatch lowering; they must still succeed via the
+	// per-op replay path with identical results.
+	f, srv := newHTTPFixture(t)
+	tok := httpToken(t, f, srv)
+	post2, err := f.graph.CreatePost(f.post.AuthorID, "other post", socialgraph.WriteMeta{At: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := fmt.Sprintf(`[
+		{"method":"POST","relative_url":"%s/likes"},
+		{"method":"POST","relative_url":"%s/likes"}
+	]`, f.post.ID, post2.ID)
+	results := postBatch(t, srv.URL, tok, batch)
+	for i, r := range results {
+		if r.Code != http.StatusOK {
+			t.Fatalf("op %d: %+v", i, r)
+		}
+	}
+	if f.graph.LikeCount(f.post.ID) != 1 || f.graph.LikeCount(post2.ID) != 1 {
+		t.Fatal("cross-object batch lost a like")
+	}
+}

@@ -375,6 +375,15 @@ type CallContext struct {
 // builds the policy request skeleton. at is the request timestamp the
 // caller already read from the clock.
 func (a *API) authenticate(ctx context.Context, c CallContext, verb Verb, needScope string, at time.Time) (Request, error) {
+	return a.authenticateMemo(ctx, c, verb, needScope, at, nil)
+}
+
+// authenticateMemo is authenticate with an optional batch-scoped lookup
+// cache (nil for single calls). Token validation, the secret proof, and
+// the scope check are always per call; only the registry read and the
+// source-IP→AS resolution — reads whose result is identical for every
+// op sharing an app or IP — go through the memo.
+func (a *API) authenticateMemo(ctx context.Context, c CallContext, verb Verb, needScope string, at time.Time, memo *batchMemo) (Request, error) {
 	_, span := a.obs.T().StartSpanAt(ctx, "oauth.validate", at)
 	defer span.EndAt(at)
 	info, err := a.oauth.Validate(c.AccessToken)
@@ -386,7 +395,12 @@ func (a *API) authenticate(ctx context.Context, c CallContext, verb Verb, needSc
 		span.SetAttr("app", info.AppID)
 		span.SetAttr("token", redact.Token(c.AccessToken))
 	}
-	app, err := a.registry.Get(info.AppID)
+	var app apps.App
+	if memo != nil {
+		app, err = memo.app(a.registry, info.AppID)
+	} else {
+		app, err = a.registry.Get(info.AppID)
+	}
 	if err != nil {
 		return Request{}, apiErr(CodeInvalidToken, "OAuthException", "application not found")
 	}
@@ -407,7 +421,11 @@ func (a *API) authenticate(ctx context.Context, c CallContext, verb Verb, needSc
 		At:       at,
 	}
 	if a.internet != nil && c.SourceIP != "" {
-		if as, ok := a.internet.LookupASString(c.SourceIP); ok {
+		if memo != nil {
+			if asn, ok := memo.asn(a.internet, c.SourceIP); ok {
+				req.ASN = asn
+			}
+		} else if as, ok := a.internet.LookupASString(c.SourceIP); ok {
 			req.ASN = as.Number
 		}
 	}
@@ -446,6 +464,13 @@ func (a *API) Like(c CallContext, objectID string) (err error) {
 	writeErr := a.applyShard(ctx, req.At, objectID, func() error {
 		return a.graph.AddLike(req.Token.AccountID, objectID, meta)
 	})
+	return likeWriteError(writeErr, objectID)
+}
+
+// likeWriteError maps a store-level like error to its Graph API error.
+// Like and LikeBatch share this mapping so batched and sequential likes
+// surface identical codes.
+func likeWriteError(writeErr error, objectID string) error {
 	switch {
 	case writeErr == nil:
 		return nil

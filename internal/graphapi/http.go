@@ -398,6 +398,11 @@ type batchOp struct {
 	Method      string `json:"method"`
 	RelativeURL string `json:"relative_url"`
 	Body        string `json:"body"`
+	// SourceIP optionally overrides the outer request's X-Forwarded-For
+	// for this operation. Delivery engines route each action of a burst
+	// through a different member of their IP pool; the per-op field lets
+	// a batched burst keep that attribution.
+	SourceIP string `json:"source_ip,omitempty"`
 }
 
 // batchResult is one operation's outcome.
@@ -430,11 +435,87 @@ func (h *httpAPI) batch(w http.ResponseWriter, r *http.Request) {
 	defaultToken := r.FormValue("access_token")
 	fwd := r.Header.Get("X-Forwarded-For")
 
+	// Homogeneous like batches take the native path: one call into the
+	// API's batched endpoint instead of N recorder replays.
+	if objectID, likeOps, ok := parseLikeBatch(ops, defaultToken, fwd); ok {
+		errs := h.api.LikeBatch(r.Context(), objectID, likeOps)
+		results := make([]batchResult, len(errs))
+		for i, err := range errs {
+			results[i] = likeBatchResult(err)
+		}
+		writeJSON(w, results)
+		return
+	}
+
 	results := make([]batchResult, len(ops))
 	for i, op := range ops {
 		results[i] = h.runBatchOp(r.Context(), op, defaultToken, fwd)
 	}
 	writeJSON(w, results)
+}
+
+// parseLikeBatch recognises a homogeneous like batch — every op a POST to
+// the same /{object}/likes edge carrying only token and proof parameters —
+// and lowers it to the API's native batched endpoint. ok=false means the
+// batch is mixed and must go through per-op replay.
+func parseLikeBatch(ops []batchOp, defaultToken, fwd string) (string, []BatchLikeOp, bool) {
+	fwdIP := ""
+	if fwd != "" {
+		fwdIP = strings.TrimSpace(strings.Split(fwd, ",")[0])
+	}
+	objectID := ""
+	out := make([]BatchLikeOp, len(ops))
+	for i, op := range ops {
+		if !strings.EqualFold(op.Method, http.MethodPost) || strings.Contains(op.RelativeURL, "?") {
+			return "", nil, false
+		}
+		parts := strings.Split(strings.Trim(op.RelativeURL, "/"), "/")
+		if len(parts) != 2 || parts[0] == "" || parts[1] != "likes" {
+			return "", nil, false
+		}
+		if i == 0 {
+			objectID = parts[0]
+		} else if parts[0] != objectID {
+			return "", nil, false
+		}
+		vals, err := url.ParseQuery(op.Body)
+		if err != nil {
+			return "", nil, false
+		}
+		for k := range vals {
+			if k != "access_token" && k != "appsecret_proof" {
+				return "", nil, false
+			}
+		}
+		token := vals.Get("access_token")
+		if token == "" {
+			token = defaultToken
+		}
+		ip := strings.TrimSpace(op.SourceIP)
+		if ip == "" {
+			ip = fwdIP
+		}
+		out[i] = BatchLikeOp{AccessToken: token, AppSecretProof: vals.Get("appsecret_proof"), SourceIP: ip}
+	}
+	return objectID, out, true
+}
+
+// likeBatchResult renders one batched like outcome into the same embedded
+// status and envelope the replay path produces.
+func likeBatchResult(err error) batchResult {
+	if err == nil {
+		return batchResult{Code: http.StatusOK, Body: `{"success":true}`}
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		ae = &APIError{Code: CodeInvalidParam, Type: "GraphMethodException", Message: err.Error()}
+	}
+	var env errorEnvelope
+	env.Error.Message = ae.Message
+	env.Error.Type = ae.Type
+	env.Error.Code = ae.Code
+	b, _ := json.Marshal(env)
+	return batchResult{Code: httpStatus(ae.Code), Body: string(b)}
 }
 
 // runBatchOp executes one batched operation by replaying it through the
@@ -476,7 +557,9 @@ func (h *httpAPI) runBatchOp(ctx context.Context, op batchOp, defaultToken, fwd 
 		return batchResult{Code: http.StatusBadRequest, Body: `{"error":{"message":"bad batch operation"}}`}
 	}
 	req = req.WithContext(ctx)
-	if fwd != "" {
+	if op.SourceIP != "" {
+		req.Header.Set("X-Forwarded-For", op.SourceIP)
+	} else if fwd != "" {
 		req.Header.Set("X-Forwarded-For", fwd)
 	}
 	rec := newRecorder()

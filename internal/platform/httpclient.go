@@ -196,6 +196,98 @@ func (c *HTTPClient) LikeCtx(ctx context.Context, token, objectID, ip string) er
 	return nil
 }
 
+// maxLikeBatch mirrors the Graph API's 50-operation batch cap; larger
+// bursts are chunked client-side.
+const maxLikeBatch = 50
+
+// LikeBatch implements BatchClient over POST /batch, chunked at the
+// endpoint's 50-op cap. Each op rides as one batched POST /{object}/likes
+// with its own token, and its source IP travels in the op's source_ip
+// field so attribution survives coalescing. A transport-level failure
+// marks every op of the failed chunk with the same error.
+func (c *HTTPClient) LikeBatch(ctx context.Context, objectID string, ops []BatchLike) []error {
+	errs := make([]error, len(ops))
+	for start := 0; start < len(ops); start += maxLikeBatch {
+		end := start + maxLikeBatch
+		if end > len(ops) {
+			end = len(ops)
+		}
+		c.likeBatchChunk(ctx, objectID, ops[start:end], errs[start:end])
+	}
+	return errs
+}
+
+// likeBatchChunk fires one ≤50-op chunk and fills errs (aligned with ops).
+func (c *HTTPClient) likeBatchChunk(ctx context.Context, objectID string, ops []BatchLike, errs []error) {
+	type batchOp struct {
+		Method      string `json:"method"`
+		RelativeURL string `json:"relative_url"`
+		Body        string `json:"body"`
+		SourceIP    string `json:"source_ip,omitempty"`
+	}
+	batch := make([]batchOp, len(ops))
+	for i, op := range ops {
+		batch[i] = batchOp{
+			Method:      http.MethodPost,
+			RelativeURL: "/" + objectID + "/likes",
+			Body:        "access_token=" + url.QueryEscape(op.Token),
+			SourceIP:    op.IP,
+		}
+	}
+	fail := func(err error) {
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	payload, err := json.Marshal(batch)
+	if err != nil {
+		fail(err)
+		return
+	}
+	resp, err := c.doCtx(ctx, http.MethodPost, "/batch", url.Values{"batch": {string(payload)}}, "")
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail(apiError(resp))
+		return
+	}
+	var results []struct {
+		Code int    `json:"code"`
+		Body string `json:"body"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+		fail(err)
+		return
+	}
+	if len(results) != len(ops) {
+		fail(fmt.Errorf("platform: batch returned %d results for %d ops", len(results), len(ops)))
+		return
+	}
+	for i, res := range results {
+		if res.Code != http.StatusOK {
+			errs[i] = batchOpError(res.Code, res.Body)
+		}
+	}
+}
+
+// batchOpError decodes one embedded batch result's error envelope.
+func batchOpError(status int, body string) error {
+	var env struct {
+		Error struct {
+			Message string `json:"message"`
+			Type    string `json:"type"`
+			Code    int    `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error.Message == "" {
+		return fmt.Errorf("platform: HTTP %d: %s", status, strings.TrimSpace(body))
+	}
+	return &RemoteAPIError{Code: env.Error.Code, Type: env.Error.Type, Message: env.Error.Message}
+}
+
 // Comment implements Client.
 func (c *HTTPClient) Comment(token, postID, message, ip string) (string, error) {
 	return c.CommentCtx(nil, token, postID, message, ip)

@@ -1,0 +1,100 @@
+package platform
+
+// Transport equivalence for the batched like path: LocalClient lowers
+// LikeBatch straight onto the API; HTTPClient chunks it into /batch
+// requests that the server recognizes as homogeneous like batches and
+// lowers onto the same API call. Both must produce identical per-op
+// results, honor per-op source IPs, and map embedded errors back to the
+// same codes as single Like calls.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/graphapi"
+	"repro/internal/socialgraph"
+)
+
+func TestLikeBatchTransportsEquivalent(t *testing.T) {
+	w := newWorld(t)
+	for name, client := range clientsUnderTest(t, w) {
+		t.Run(name, func(t *testing.T) {
+			bc, ok := client.(BatchClient)
+			if !ok {
+				t.Fatalf("%s transport does not implement BatchClient", name)
+			}
+			post, err := w.p.Graph.CreatePost(w.author.ID, "batch post "+name, socialgraph.WriteMeta{At: t0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 60 members forces the HTTP transport to split into two /batch
+			// chunks (50-op Graph API cap + 10).
+			const members = 60
+			ops := make([]BatchLike, 0, members+2)
+			for i := 0; i < members; i++ {
+				m := w.p.Graph.CreateAccount(fmt.Sprintf("bm-%s-%d", name, i), "IN", t0)
+				tok, err := client.AuthorizeImplicit(w.app.ID, w.app.RedirectURI, m.ID,
+					[]string{apps.PermPublishActions, apps.PermPublicProfile})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops = append(ops, BatchLike{Token: tok, IP: fmt.Sprintf("203.0.113.%d", i%250)})
+			}
+			// A bogus token and an intra-batch duplicate ride along.
+			ops = append(ops, BatchLike{Token: "bogus-token", IP: "203.0.113.250"})
+			ops = append(ops, BatchLike{Token: ops[0].Token, IP: ops[0].IP})
+
+			errs := bc.LikeBatch(context.Background(), post.ID, ops)
+			if len(errs) != len(ops) {
+				t.Fatalf("LikeBatch returned %d errors for %d ops", len(errs), len(ops))
+			}
+			for i := 0; i < members; i++ {
+				if errs[i] != nil {
+					t.Fatalf("op %d failed: %v", i, errs[i])
+				}
+			}
+			if code := ErrorCode(errs[members]); code != graphapi.CodeInvalidToken {
+				t.Fatalf("bogus-token op code = %d (%v), want %d", code, errs[members], graphapi.CodeInvalidToken)
+			}
+			if code := ErrorCode(errs[members+1]); code != graphapi.CodeDuplicate {
+				t.Fatalf("duplicate op code = %d (%v), want %d", code, errs[members+1], graphapi.CodeDuplicate)
+			}
+
+			likes := w.p.Graph.Likes(post.ID)
+			if len(likes) != members {
+				t.Fatalf("likes = %d, want %d", len(likes), members)
+			}
+			// Per-op source IPs survive the transport: countermeasures key on
+			// them, so the batch may not flatten attribution.
+			for i, l := range likes {
+				if want := fmt.Sprintf("203.0.113.%d", i%250); l.SourceIP != want {
+					t.Fatalf("like %d SourceIP = %q, want %q", i, l.SourceIP, want)
+				}
+			}
+		})
+	}
+}
+
+func TestLikeBatchEmptyAndSingle(t *testing.T) {
+	w := newWorld(t)
+	for name, client := range clientsUnderTest(t, w) {
+		t.Run(name, func(t *testing.T) {
+			bc := client.(BatchClient)
+			if errs := bc.LikeBatch(context.Background(), w.post.ID, nil); len(errs) != 0 {
+				t.Fatalf("empty batch returned %d errors", len(errs))
+			}
+			m := w.p.Graph.CreateAccount("single-"+name, "IN", t0)
+			tok, err := client.AuthorizeImplicit(w.app.ID, w.app.RedirectURI, m.ID,
+				[]string{apps.PermPublishActions, apps.PermPublicProfile})
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs := bc.LikeBatch(context.Background(), w.post.ID, []BatchLike{{Token: tok, IP: "203.0.113.1"}})
+			if len(errs) != 1 || errs[0] != nil {
+				t.Fatalf("single-op batch = %v", errs)
+			}
+		})
+	}
+}

@@ -191,6 +191,24 @@ type ContextClient interface {
 	CommentCtx(ctx context.Context, token, postID, message, ip string) (string, error)
 }
 
+// BatchLike is one like in a homogeneous batch: the member token that
+// performs it and the source IP it should appear to originate from.
+type BatchLike struct {
+	Token string
+	IP    string
+}
+
+// BatchClient is the optional extension of Client for transports that can
+// deliver a burst of likes on one object in a single round trip. The
+// result is one error per op, aligned by index (nil = delivered), with
+// semantics identical to N sequential Like calls — each op is still
+// policy-checked on its own token and IP. Delivery engines type-assert
+// for it and fall back to per-call Like, so Client implementations
+// outside this package keep working unchanged.
+type BatchClient interface {
+	LikeBatch(ctx context.Context, objectID string, ops []BatchLike) []error
+}
+
 // LocalClient implements Client with direct in-process calls.
 type LocalClient struct {
 	p *Platform
@@ -234,6 +252,16 @@ func (c *LocalClient) Like(token, objectID, ip string) error {
 // ctx.
 func (c *LocalClient) LikeCtx(ctx context.Context, token, objectID, ip string) error {
 	return c.p.API.Like(graphapi.CallContext{Ctx: ctx, AccessToken: token, SourceIP: ip}, objectID)
+}
+
+// LikeBatch implements BatchClient with one direct call into the API's
+// batched like endpoint.
+func (c *LocalClient) LikeBatch(ctx context.Context, objectID string, ops []BatchLike) []error {
+	apiOps := make([]graphapi.BatchLikeOp, len(ops))
+	for i, op := range ops {
+		apiOps[i] = graphapi.BatchLikeOp{AccessToken: op.Token, SourceIP: op.IP}
+	}
+	return c.p.API.LikeBatch(ctx, objectID, apiOps)
 }
 
 // Comment implements Client.

@@ -1,0 +1,54 @@
+package socialgraph
+
+// Batched like apply. A collusion-network burst is hundreds of likes on
+// one object, which under sequential AddLike costs two lock scopes per
+// action. AddLikeBatch amortises that: ops are split into maximal
+// consecutive runs whose objects share a stripe, and each run is applied
+// under a single multi-stripe lock scope (the object stripe plus every
+// liker's account stripe, acquired in ascending index order exactly like
+// lockOrdered). Because runs are consecutive, the total apply order is
+// the ops' order, so per-op errors and final state — including
+// intra-batch duplicates — match N sequential AddLike calls exactly.
+
+// LikeOp is one like in a batch: AccountID likes ObjectID, attributed to
+// Meta. Meta is per-op because each action in a delivery burst carries
+// its own source IP, and attribution is what the countermeasures key on.
+type LikeOp struct {
+	AccountID string
+	ObjectID  string
+	Meta      WriteMeta
+}
+
+// AddLikeBatch applies the ops in order and returns one error per op,
+// aligned by index (nil = applied). Semantics are identical to calling
+// AddLike(op.AccountID, op.ObjectID, op.Meta) for each op in sequence.
+func (s *Store) AddLikeBatch(ops []LikeOp) []error {
+	errs := make([]error, len(ops))
+	for start := 0; start < len(ops); {
+		objIdx := s.shardIndex(ops[start].ObjectID)
+		end := start + 1
+		for end < len(ops) && s.shardIndex(ops[end].ObjectID) == objIdx {
+			end++
+		}
+		s.applyLikeRun(ops[start:end], errs[start:end], objIdx)
+		start = end
+	}
+	return errs
+}
+
+// applyLikeRun applies one run of likes whose objects live on stripe
+// objIdx under a single lock scope.
+func (s *Store) applyLikeRun(run []LikeOp, errs []error, objIdx int) {
+	idxs := make([]int, 0, len(run)+1)
+	idxs = append(idxs, objIdx)
+	for i := range run {
+		idxs = append(idxs, s.shardIndex(run[i].AccountID))
+	}
+	unlock := s.lockOrderedIdx(idxs)
+	defer unlock()
+	objShard := s.shards[objIdx]
+	for i := range run {
+		op := &run[i]
+		errs[i] = likeLocked(s.shards[s.shardIndex(op.AccountID)], objShard, op.AccountID, op.ObjectID, op.Meta)
+	}
+}

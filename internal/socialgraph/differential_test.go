@@ -140,7 +140,7 @@ func runDifferential(t *testing.T, seed int64, ops int, shards int) {
 			if gerr == nil {
 				w.posts = append(w.posts, got.ID)
 			}
-		case op < 65: // like a post, page, or profile (dups included)
+		case op < 58: // like a post, page, or profile (dups included)
 			liker := pick(rng, w.accounts)
 			object := pick(rng, w.posts)
 			switch rng.Intn(6) {
@@ -153,6 +153,33 @@ func runDifferential(t *testing.T, seed int64, ops int, shards int) {
 			werr := oracle.AddLike(liker, object, meta)
 			if !sameErr(gerr, werr) {
 				t.Fatalf("op %d: AddLike(%s,%s) = %v, oracle %v", i, liker, object, gerr, werr)
+			}
+		case op < 65: // batched likes: AddLikeBatch vs sequential oracle
+			n := 1 + rng.Intn(60)
+			batch := make([]LikeOp, n)
+			for j := range batch {
+				object := pick(rng, w.posts)
+				switch rng.Intn(6) {
+				case 0:
+					object = pick(rng, w.pages)
+				case 1:
+					object = pick(rng, w.accounts)
+				}
+				batch[j] = LikeOp{AccountID: pick(rng, w.accounts), ObjectID: object, Meta: meta}
+			}
+			if n > 1 && rng.Intn(2) == 0 {
+				// Force an intra-batch duplicate: its second occurrence
+				// must fail with ErrAlreadyLiked exactly as a sequential
+				// AddLike replay would.
+				batch[n-1] = batch[rng.Intn(n-1)]
+			}
+			gerrs := sharded.AddLikeBatch(batch)
+			for j, lop := range batch {
+				werr := oracle.AddLike(lop.AccountID, lop.ObjectID, lop.Meta)
+				if !sameErr(gerrs[j], werr) {
+					t.Fatalf("op %d: AddLikeBatch[%d](%s,%s) = %v, oracle AddLike %v",
+						i, j, lop.AccountID, lop.ObjectID, gerrs[j], werr)
+				}
 			}
 		case op < 70: // purge a like
 			liker := pick(rng, w.accounts)

@@ -2,6 +2,7 @@ package socialgraph
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -157,6 +158,35 @@ func (s *Store) rlock(id string) *shard {
 // lock write-locks the stripe owning id.
 func (s *Store) lock(id string) *shard {
 	return s.lockIdx(s.shardIndex(id))
+}
+
+// lockOrderedIdx write-locks the given stripe indexes in ascending order
+// and returns an unlock function releasing them in reverse order. It is
+// the batch-apply generalisation of lockOrdered: a batched write names an
+// arbitrary number of stripes (one object stripe plus every liker's
+// account stripe), so the index slice is sorted and deduplicated in place
+// before acquisition. The ascending rule is identical to lockOrdered's,
+// so batch scopes and single-write scopes compose deadlock-free.
+//
+//collusionvet:lockorder
+func (s *Store) lockOrderedIdx(idxs []int) func() {
+	sort.Ints(idxs)
+	n := 0
+	for _, v := range idxs {
+		if n == 0 || v != idxs[n-1] {
+			idxs[n] = v
+			n++
+		}
+	}
+	order := idxs[:n]
+	for _, i := range order {
+		s.lockIdx(i)
+	}
+	return func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			s.shards[order[i]].mu.Unlock()
+		}
+	}
 }
 
 // lockOrdered write-locks the stripes owning the given IDs in ascending

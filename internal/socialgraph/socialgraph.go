@@ -327,8 +327,15 @@ func (s *Store) PostsByAuthor(authorID string) []Post {
 func (s *Store) AddLike(accountID, objectID string, meta WriteMeta) error {
 	unlock := s.lockOrdered(accountID, objectID)
 	defer unlock()
-	acctShard := s.shardFor(accountID)
-	objShard := s.shardFor(objectID)
+	return likeLocked(s.shardFor(accountID), s.shardFor(objectID), accountID, objectID, meta)
+}
+
+// likeLocked validates and applies one like. The caller must hold the
+// write locks of both shards; AddLike and AddLikeBatch share this core so
+// batched and sequential likes have identical semantics by construction.
+//
+//collusionvet:locked
+func likeLocked(acctShard, objShard *shard, accountID, objectID string, meta WriteMeta) error {
 	a, ok := acctShard.accounts[accountID]
 	if !ok {
 		return fmt.Errorf("liker %q: %w", accountID, ErrNotFound)

@@ -40,6 +40,16 @@ type Options struct {
 	// (e.g. hublaa.me's day 45–50 shutdown during the countermeasure
 	// campaign).
 	ExtraOutageDays map[string][]int
+	// Shards pins the platform's social-graph stripe count; 0 selects
+	// the GOMAXPROCS-scaled default. Experiments sweep this.
+	Shards int
+	// DeliveryBatchSize and DeliveryWorkers are passed through to every
+	// network's delivery engine: 0 selects the collusion defaults
+	// (batched, 50-op chunks, 4 workers); a negative batch size disables
+	// batching so every like takes its own transport call. A/B
+	// benchmarks and the contention sweep flip these.
+	DeliveryBatchSize int
+	DeliveryWorkers   int
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +133,7 @@ func BuildScenario(opts Options) (*Scenario, error) {
 		return nil, err
 	}
 
-	p := platform.New(clock, internet)
+	p := platform.NewWithShards(clock, internet, opts.Shards)
 	client := platform.NewLocalClient(p)
 	s := &Scenario{
 		Opts:      opts,
@@ -229,6 +239,8 @@ func (s *Scenario) buildNetwork(spec NetworkSpec, ordinal int64) (*NetworkInstan
 		IPs:                ips,
 		Seed:               s.Opts.Seed*1000 + ordinal,
 		AdsPerVisit:        3,
+		DeliveryBatchSize:  s.Opts.DeliveryBatchSize,
+		DeliveryWorkers:    s.Opts.DeliveryWorkers,
 	}
 	if spec.CommentsPerRequest > 0 {
 		cfg.CommentDictionary = GenerateCommentDictionary(spec.Name, spec.UniqueComments, s.Opts.Seed)
