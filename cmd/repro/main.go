@@ -7,6 +7,7 @@
 //	repro -exp table1,figure5      # several
 //	repro -exp all                 # everything (takes a few minutes)
 //	repro -list                    # list experiment IDs
+//	repro scale -accounts 1000000  # scale mode: big graph + open-loop load
 //
 // The -scale flag divides the paper's population sizes (default 100);
 // -seed fixes the run's randomness so output is reproducible.
@@ -23,6 +24,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scale" {
+		runScale(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "", "experiment ID(s), comma separated, or 'all'")
 	scale := flag.Int("scale", 100, "population scale divisor (1 = paper scale)")
 	seed := flag.Int64("seed", 1, "random seed")

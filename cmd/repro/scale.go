@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// runScale is the `repro scale` subcommand: build a 1M–10M-account graph
+// and drive the open-loop load generator against it, measuring wall-clock
+// like-latency SLOs (the simulated clock paces arrivals; simclock.Real
+// times the applies).
+func runScale(args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	accounts := fs.Int("accounts", 1_000_000, "population size")
+	rps := fs.Int("rps", 2000, "target arrival rate (per simulated second)")
+	duration := fs.Duration("duration", 60*time.Second, "simulated load duration")
+	workers := fs.Int("workers", 0, "apply-pool size (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "store stripe count (0 = default)")
+	friends := fs.Float64("friends", 0, "mean friend degree (0 = no friendship edges)")
+	retention := fs.Duration("retention", 0, "edge-history retention window (0 = infinite)")
+	sweepEvery := fs.Duration("sweep-every", 0, "retention sweep period in simulated time (0 = never)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	fmt.Printf("building %d-account graph (%d stripes requested, GOMAXPROCS %d)...\n",
+		*accounts, *shards, runtime.GOMAXPROCS(0))
+	t0 := time.Now()
+	w, err := workload.BuildScale(workload.ScaleConfig{
+		Accounts:        *accounts,
+		AvgFriends:      *friends,
+		Shards:          *shards,
+		RetentionWindow: *retention,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro scale: %v\n", err)
+		os.Exit(1)
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	fmt.Printf("built in %v: %d pages, %d hot posts, %d friend edges, heap %d MiB\n",
+		time.Since(t0).Round(time.Millisecond), len(w.Pages), len(w.Posts),
+		w.FriendEdges, mem.HeapAlloc>>20)
+
+	fmt.Printf("driving %d rps for %v (simulated)...\n", *rps, *duration)
+	rep := w.RunLoad(workload.LoadConfig{
+		TargetRPS:  *rps,
+		Duration:   *duration,
+		Workers:    *workers,
+		SweepEvery: *sweepEvery,
+		Timing:     simclock.Real{},
+		Seed:       *seed,
+	})
+
+	fmt.Printf("offered %d requests in %v wall (%.0f applied rps)\n",
+		rep.Offered, rep.WallElapsed.Round(time.Millisecond), rep.AchievedRPS())
+	fmt.Printf("  likes %d (dup %d), comments %d, posts %d\n",
+		rep.Likes, rep.DuplicateLikes, rep.Comments, rep.Posts)
+	fmt.Printf("  like latency p50 %v  p99 %v\n", rep.P50, rep.P99)
+	if rep.Sweeps > 0 {
+		fmt.Printf("  retention: %d sweeps evicted %d likes / %d comments / %d activities\n",
+			rep.Sweeps, rep.Evicted.Likes, rep.Evicted.Comments, rep.Evicted.Activities)
+		for _, s := range rep.Samples {
+			fmt.Printf("    sweep %s: retained %d likes, %d comments\n",
+				s.At.Format("15:04:05"), s.Retained.Likes, s.Retained.Comments)
+		}
+	}
+	fmt.Printf("  retained at end: %d likes, %d comments, %d activities\n",
+		rep.Retained.Likes, rep.Retained.Comments, rep.Retained.Activities)
+	snap := w.Graph.Retention().Snapshot()
+	fmt.Printf("  retention counters: sweeps %d, evicted likes %d, comments %d, activities %d\n",
+		snap.Sweeps, snap.Likes, snap.Comments, snap.Activities)
+}

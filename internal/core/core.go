@@ -33,6 +33,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/simclock"
+	"repro/internal/socialgraph"
 	"repro/internal/workload"
 )
 
@@ -113,6 +114,14 @@ func (s *Study) AdvanceHour() { s.Scenario.Clock.Advance(time.Hour) }
 
 // AdvanceDay moves simulated time forward one day.
 func (s *Study) AdvanceDay() { s.Scenario.Clock.Advance(24 * time.Hour) }
+
+// SweepRetention runs one retention sweep against the social graph at the
+// current simulated instant. With the default infinite retention window
+// (Options.RetentionWindow zero) this is a no-op, so campaign drivers can
+// call it unconditionally each round.
+func (s *Study) SweepRetention() socialgraph.SweepResult {
+	return s.Scenario.Platform.Graph.RetentionSweep(s.Scenario.Clock.Now())
+}
 
 // MilkResult is the outcome of one milking round on one network.
 type MilkResult struct {

@@ -181,6 +181,20 @@ var Registry = map[string]Runner{
 		}
 		return Output{Tables: []Table{tbl}}, nil
 	},
+	"scale-slo": func(scale int, seed int64) (Output, error) {
+		// The population flag is a divisor for the paper experiments; the
+		// scale profile wants an absolute account count, so only an
+		// explicit larger-than-default value is passed through.
+		cfg := ScaleSLOConfig{Seed: seed}
+		if scale > 5000 {
+			cfg.Accounts = scale
+		}
+		res, err := ScaleSLO(cfg)
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Tables: []Table{res.Table}}, nil
+	},
 	"extension-economics": func(scale int, seed int64) (Output, error) {
 		res, err := ExtensionEconomics(seed)
 		if err != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/collusion"
 	"repro/internal/core"
@@ -24,6 +25,11 @@ type Table4Config struct {
 	// Networks selects a subset; nil = all 22.
 	Networks []string
 	Seed     int64
+	// RetentionWindow bounds the platform's edge-history retention; when
+	// set, a sweep runs every campaign hour. The default (0, infinite)
+	// leaves the campaign byte-identical to a build without retention —
+	// the retention-equivalence tests pin this.
+	RetentionWindow time.Duration
 }
 
 func (c Table4Config) withDefaults() Table4Config {
@@ -74,9 +80,10 @@ type Table4Result struct {
 func Table4(cfg Table4Config) (Table4Result, error) {
 	cfg = cfg.withDefaults()
 	study, err := core.NewStudy(workload.Options{
-		Scale:    cfg.Scale,
-		Networks: cfg.Networks,
-		Seed:     cfg.Seed,
+		Scale:           cfg.Scale,
+		Networks:        cfg.Networks,
+		Seed:            cfg.Seed,
+		RetentionWindow: cfg.RetentionWindow,
 	})
 	if err != nil {
 		return Table4Result{}, err
@@ -131,6 +138,7 @@ func Table4(cfg Table4Config) (Table4Result, error) {
 			break
 		}
 		study.AdvanceHour()
+		study.SweepRetention()
 	}
 
 	table := Table{

@@ -299,7 +299,7 @@ func TestRegistryRunAndIDs(t *testing.T) {
 		"ablation-ip-vs-as", "ablation-ratelimit", "ablation-rejected",
 		"extension-detection", "extension-economics", "extension-privacy",
 		"figure4", "figure5", "figure5-all", "figure6", "figure7", "figure8",
-		"sweep-contention",
+		"scale-slo", "sweep-contention",
 		"table1", "table2", "table3", "table4", "table5", "table6"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)

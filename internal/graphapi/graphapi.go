@@ -626,6 +626,32 @@ func (a *API) Comments(c CallContext, postID string) (_ []socialgraph.Comment, e
 	return a.graph.Comments(postID), nil
 }
 
+// LikesPage lists one page of likes on an object starting at the cursor
+// position after, returning the next cursor and whether more likes
+// remain. Cursors are arrival-sequence positions, stable across
+// retention sweeps and like purges (see socialgraph.Store.LikesPage).
+func (a *API) LikesPage(c CallContext, objectID string, after, limit int) (page []socialgraph.Like, next int, more bool, err error) {
+	ctx, span, start := a.begin(c.Ctx, opLikes)
+	defer func() { a.finish(span, opLikes, start, err) }()
+	if _, err = a.authenticate(ctx, c, VerbRead, "", start); err != nil {
+		return nil, 0, false, err
+	}
+	page, next, more = a.graph.LikesPage(objectID, after, limit)
+	return page, next, more, nil
+}
+
+// CommentsPage lists one page of comments on a post; cursor semantics
+// match LikesPage.
+func (a *API) CommentsPage(c CallContext, postID string, after, limit int) (page []socialgraph.Comment, next int, more bool, err error) {
+	ctx, span, start := a.begin(c.Ctx, opComments)
+	defer func() { a.finish(span, opComments, start, err) }()
+	if _, err = a.authenticate(ctx, c, VerbRead, "", start); err != nil {
+		return nil, 0, false, err
+	}
+	page, next, more = a.graph.CommentsPage(postID, after, limit)
+	return page, next, more, nil
+}
+
 func (a *API) denialError(d Decision) error {
 	code := CodeBlocked
 	if d.Policy == "token-rate-limit" || d.Policy == "ip-rate-limit" {

@@ -118,6 +118,19 @@ func pagingEnvelope(offset, served, total int) map[string]any {
 	}
 }
 
+// pagingEnvelopeAt builds the "paging" object from a store-provided next
+// cursor. The cursor is an arrival-sequence position (stable across
+// retention sweeps), not a physical offset; on a store that has never
+// evicted or purged, the two coincide.
+func pagingEnvelopeAt(next int, more bool) map[string]any {
+	if !more {
+		return nil
+	}
+	return map[string]any{
+		"cursors": map[string]any{"after": encodeCursor(next)},
+	}
+}
+
 // Handler exposes the API and the OAuth endpoints over HTTP with
 // Facebook-style routes:
 //
@@ -627,18 +640,16 @@ func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, map[string]any{"success": true})
 	case edge == "likes" && r.Method == http.MethodGet:
-		likes, err := h.api.Likes(ctx, objectID)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		limit, offset, perr := pageParams(r)
+		limit, after, perr := pageParams(r)
 		if perr != nil {
 			writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "%v", perr))
 			return
 		}
-		total := len(likes)
-		likes = pageSliceLikes(likes, offset, limit)
+		likes, next, more, err := h.api.LikesPage(ctx, objectID, after, limit)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 		data := make([]map[string]any, 0, len(likes))
 		for _, l := range likes {
 			data = append(data, map[string]any{
@@ -647,7 +658,7 @@ func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		body := map[string]any{"data": data}
-		if paging := pagingEnvelope(offset, len(likes), total); paging != nil {
+		if paging := pagingEnvelopeAt(next, more); paging != nil {
 			body["paging"] = paging
 		}
 		writeJSON(w, body)
@@ -659,18 +670,16 @@ func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, map[string]any{"id": c.ID})
 	case edge == "comments" && r.Method == http.MethodGet:
-		comments, err := h.api.Comments(ctx, objectID)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		limit, offset, perr := pageParams(r)
+		limit, after, perr := pageParams(r)
 		if perr != nil {
 			writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "%v", perr))
 			return
 		}
-		total := len(comments)
-		comments = pageSliceComments(comments, offset, limit)
+		comments, next, more, err := h.api.CommentsPage(ctx, objectID, after, limit)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 		data := make([]map[string]any, 0, len(comments))
 		for _, c := range comments {
 			data = append(data, map[string]any{
@@ -681,7 +690,7 @@ func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		body := map[string]any{"data": data}
-		if paging := pagingEnvelope(offset, len(comments), total); paging != nil {
+		if paging := pagingEnvelopeAt(next, more); paging != nil {
 			body["paging"] = paging
 		}
 		writeJSON(w, body)

@@ -1,0 +1,40 @@
+package metrics
+
+// RetentionCounters tracks the social graph's edge-history eviction: how
+// many retention sweeps ran and how many likes, comments, and activity
+// entries each class has aged out of the analytics window. The store owns
+// one instance and bumps it under no lock (the fields are atomic), so the
+// counters are exportable at scrape time without touching shard mutexes.
+type RetentionCounters struct {
+	sweeps     Counter
+	likes      Counter
+	comments   Counter
+	activities Counter
+}
+
+// RecordSweep records one completed sweep and the number of edges it
+// evicted per class.
+func (r *RetentionCounters) RecordSweep(likes, comments, activities int64) {
+	r.sweeps.Inc()
+	r.likes.Add(likes)
+	r.comments.Add(comments)
+	r.activities.Add(activities)
+}
+
+// RetentionSnapshot is a point-in-time copy of the counters.
+type RetentionSnapshot struct {
+	Sweeps     int64
+	Likes      int64
+	Comments   int64
+	Activities int64
+}
+
+// Snapshot returns the current counter values.
+func (r *RetentionCounters) Snapshot() RetentionSnapshot {
+	return RetentionSnapshot{
+		Sweeps:     r.sweeps.Value(),
+		Likes:      r.likes.Value(),
+		Comments:   r.comments.Value(),
+		Activities: r.activities.Value(),
+	}
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRetentionCountersConcurrent(t *testing.T) {
+	var rc RetentionCounters
+	const goroutines, sweeps = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sweeps; i++ {
+				rc.RecordSweep(3, 2, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := rc.Snapshot()
+	want := RetentionSnapshot{
+		Sweeps:     goroutines * sweeps,
+		Likes:      3 * goroutines * sweeps,
+		Comments:   2 * goroutines * sweeps,
+		Activities: goroutines * sweeps,
+	}
+	if snap != want {
+		t.Fatalf("Snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+func TestRetentionCountersZeroValueUsable(t *testing.T) {
+	var rc RetentionCounters
+	if got := rc.Snapshot(); got != (RetentionSnapshot{}) {
+		t.Fatalf("zero-value snapshot = %+v", got)
+	}
+	rc.RecordSweep(0, 0, 0)
+	if got := rc.Snapshot().Sweeps; got != 1 {
+		t.Fatalf("Sweeps = %d", got)
+	}
+}

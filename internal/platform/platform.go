@@ -68,7 +68,15 @@ func New(clock simclock.Clock, internet *netsim.Internet) *Platform {
 // the default). Experiments sweep this to measure how striping changes
 // contention under parallel milking.
 func NewWithShards(clock simclock.Clock, internet *netsim.Internet, shards int) *Platform {
-	graph := socialgraph.NewWithShards(shards)
+	return NewSized(clock, internet, shards, 0)
+}
+
+// NewSized is NewWithShards with an account-population hint: the social
+// graph's account-keyed maps are presized for accountHint accounts, which
+// the scale workload uses to build million-account graphs without
+// incremental map growth.
+func NewSized(clock simclock.Clock, internet *netsim.Internet, shards, accountHint int) *Platform {
+	graph := socialgraph.NewSized(shards, accountHint)
 	registry := apps.NewRegistry()
 	oauth := oauthsim.NewServer(clock, registry, graph)
 	api := graphapi.New(clock, graph, oauth, registry, internet, graphapi.NewChain())
@@ -105,6 +113,34 @@ func registerGraphCollectors(o *obs.Observer, graph *socialgraph.Store) {
 				)
 			}
 			return out
+		})
+	o.M().Collector("socialgraph_retention_sweeps_total",
+		"Retention sweeps completed.",
+		obs.KindCounter, nil,
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(graph.Retention().Snapshot().Sweeps)}}
+		})
+	o.M().Collector("socialgraph_retention_evicted_total",
+		"Edge-history entries evicted by retention sweeps, by class.",
+		obs.KindCounter, []string{"class"},
+		func() []obs.Sample {
+			snap := graph.Retention().Snapshot()
+			return []obs.Sample{
+				{Labels: []string{"like"}, Value: float64(snap.Likes)},
+				{Labels: []string{"comment"}, Value: float64(snap.Comments)},
+				{Labels: []string{"activity"}, Value: float64(snap.Activities)},
+			}
+		})
+	o.M().Collector("socialgraph_retained_edges",
+		"Currently retained edge-history entries, by class. With a finite retention window this gauge plateaus under steady load.",
+		obs.KindGauge, []string{"class"},
+		func() []obs.Sample {
+			st := graph.RetainedEdges()
+			return []obs.Sample{
+				{Labels: []string{"like"}, Value: float64(st.Likes)},
+				{Labels: []string{"comment"}, Value: float64(st.Comments)},
+				{Labels: []string{"activity"}, Value: float64(st.Activities)},
+			}
 		})
 }
 

@@ -1,0 +1,44 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/socialgraph"
+)
+
+// TestRetentionMetricFamilies: the retention counters and the retained-
+// edges gauge are scrape-time collectors over store state, so a sweep
+// must be visible on the next /metrics exposition without any explicit
+// metric write.
+func TestRetentionMetricFamilies(t *testing.T) {
+	w := newWorld(t)
+	w.p.Graph.SetRetentionWindow(time.Hour)
+	for i, acct := range []socialgraph.Account{w.member, w.author} {
+		at := t0.Add(time.Duration(i) * 90 * time.Minute) // one in, one out of the window
+		if err := w.p.Graph.AddLike(acct.ID, w.post.ID, socialgraph.WriteMeta{At: at}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.clock.Advance(150 * time.Minute)
+	if res := w.p.Graph.RetentionSweep(w.clock.Now()); res.Likes != 1 {
+		t.Fatalf("sweep = %+v, want exactly the out-of-window like evicted", res)
+	}
+
+	var b strings.Builder
+	if err := w.p.Obs.M().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"socialgraph_retention_sweeps_total 1",
+		`socialgraph_retention_evicted_total{class="like"} 1`,
+		`socialgraph_retention_evicted_total{class="comment"} 0`,
+		`socialgraph_retained_edges{class="like"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

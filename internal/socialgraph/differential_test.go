@@ -45,6 +45,13 @@ type graphStore interface {
 	Friends(accountID string) []string
 	FriendCount(accountID string) int
 	AreFriends(a, b string) bool
+	CreateAccountBatch(seeds []AccountSeed, at time.Time) []Account
+	SetRetentionWindow(w time.Duration)
+	RetentionWindow() time.Duration
+	RetentionSweep(now time.Time) SweepResult
+	RetainedEdges() EdgeStats
+	LikesPage(objectID string, after, limit int) (page []Like, next int, more bool)
+	CommentsPage(postID string, after, limit int) (page []Comment, next int, more bool)
 }
 
 var (
@@ -89,11 +96,19 @@ func pick(rng *rand.Rand, pool []string) string {
 }
 
 // runDifferential drives ops randomized operations into both stores.
-func runDifferential(t *testing.T, seed int64, ops int, shards int) {
+// window sets both stores' retention window (0 = infinite); the op mix
+// includes retention sweeps, which are no-ops at the infinite window and
+// evict identically on both stores at a finite one.
+func runDifferential(t *testing.T, seed int64, ops int, shards int, window time.Duration) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	sharded := NewWithShards(shards)
 	oracle := newReferenceStore()
+	sharded.SetRetentionWindow(window)
+	oracle.SetRetentionWindow(window)
+	if g, want := sharded.RetentionWindow(), oracle.RetentionWindow(); g != want {
+		t.Fatalf("RetentionWindow = %v, oracle %v", g, want)
+	}
 	w := &diffWorld{suspended: make(map[string]bool)}
 	epoch := time.Date(2015, time.November, 1, 0, 0, 0, 0, time.UTC)
 
@@ -105,7 +120,25 @@ func runDifferential(t *testing.T, seed int64, ops int, shards int) {
 			At:       at,
 		}
 		switch op := rng.Intn(100); {
-		case op < 15: // create account
+		case op < 15: // create account (sometimes a whole batch)
+			if rng.Intn(5) == 0 {
+				seeds := make([]AccountSeed, 1+rng.Intn(20))
+				for j := range seeds {
+					seeds[j] = AccountSeed{Name: fmt.Sprintf("acct-%d-%d", i, j), Country: "TR"}
+				}
+				got := sharded.CreateAccountBatch(seeds, at)
+				want := oracle.CreateAccountBatch(seeds, at)
+				if len(got) != len(want) {
+					t.Fatalf("op %d: CreateAccountBatch: %d vs %d", i, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("op %d: CreateAccountBatch[%d] = %+v, oracle %+v", i, j, got[j], want[j])
+					}
+					w.accounts = append(w.accounts, got[j].ID)
+				}
+				break
+			}
 			name := fmt.Sprintf("acct-%d", i)
 			got := sharded.CreateAccount(name, "IN", at)
 			want := oracle.CreateAccount(name, "IN", at)
@@ -217,6 +250,15 @@ func runDifferential(t *testing.T, seed int64, ops int, shards int) {
 			if !sameErr(gerr, werr) {
 				t.Fatalf("op %d: AddFriendship(%s,%s) = %v, oracle %v", i, a, b, gerr, werr)
 			}
+		case op < 95: // retention sweep
+			gres := sharded.RetentionSweep(at)
+			wres := oracle.RetentionSweep(at)
+			if gres != wres {
+				t.Fatalf("op %d: RetentionSweep = %+v, oracle %+v", i, gres, wres)
+			}
+			if g, want := sharded.RetainedEdges(), oracle.RetainedEdges(); g != want {
+				t.Fatalf("op %d: RetainedEdges = %+v, oracle %+v", i, g, want)
+			}
 		default: // spot-check reads mid-sequence
 			id := pick(rng, w.accounts)
 			obj := pick(rng, w.posts)
@@ -294,6 +336,10 @@ func compareStores(t *testing.T, sharded, oracle graphStore, w *diffWorld) {
 				t.Fatalf("Comments(%s)[%d] = %+v, oracle %+v", post, i, gc[i], wc[i])
 			}
 		}
+		compareCommentCursorCrawl(t, sharded, oracle, post)
+	}
+	if g, want := sharded.RetainedEdges(), oracle.RetainedEdges(); g != want {
+		t.Fatalf("RetainedEdges = %+v, oracle %+v", g, want)
 	}
 }
 
@@ -328,6 +374,60 @@ func compareLikeCrawl(t *testing.T, sharded, oracle graphStore, objectID string)
 				t.Fatalf("Likes(%s) page at cursor %d diverges", objectID, off)
 			}
 		}
+	}
+	// Sequence-cursored crawl via LikesPage: both stores must serve the
+	// same pages, the same next-cursors, and reassemble the full crawl.
+	var crawled []Like
+	after := 0
+	for {
+		gp, gnext, gmore := sharded.LikesPage(objectID, after, pageSize)
+		wp, wnext, wmore := oracle.LikesPage(objectID, after, pageSize)
+		if len(gp) != len(wp) || gnext != wnext || gmore != wmore {
+			t.Fatalf("LikesPage(%s, after=%d): %d/%d/%v vs %d/%d/%v",
+				objectID, after, len(gp), gnext, gmore, len(wp), wnext, wmore)
+		}
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("LikesPage(%s, after=%d)[%d] = %+v, oracle %+v", objectID, after, i, gp[i], wp[i])
+			}
+		}
+		crawled = append(crawled, gp...)
+		if !gmore {
+			break
+		}
+		after = gnext
+	}
+	if len(crawled) != len(gl) {
+		t.Fatalf("LikesPage crawl of %s reassembled %d likes, Likes has %d", objectID, len(crawled), len(gl))
+	}
+	for i := range crawled {
+		if crawled[i] != gl[i] {
+			t.Fatalf("LikesPage crawl of %s diverges at %d", objectID, i)
+		}
+	}
+}
+
+// compareCommentCursorCrawl walks the sequence-cursored comment pages on
+// both stores in lockstep.
+func compareCommentCursorCrawl(t *testing.T, sharded, oracle graphStore, postID string) {
+	t.Helper()
+	after := 0
+	for {
+		gp, gnext, gmore := sharded.CommentsPage(postID, after, 4)
+		wp, wnext, wmore := oracle.CommentsPage(postID, after, 4)
+		if len(gp) != len(wp) || gnext != wnext || gmore != wmore {
+			t.Fatalf("CommentsPage(%s, after=%d): %d/%d/%v vs %d/%d/%v",
+				postID, after, len(gp), gnext, gmore, len(wp), wnext, wmore)
+		}
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("CommentsPage(%s, after=%d)[%d] = %+v, oracle %+v", postID, after, i, gp[i], wp[i])
+			}
+		}
+		if !gmore {
+			return
+		}
+		after = gnext
 	}
 }
 
@@ -375,7 +475,34 @@ func TestDifferentialShardedVsReference(t *testing.T) {
 	} {
 		tc := tc
 		t.Run(fmt.Sprintf("seed=%d/shards=%d", tc.seed, tc.shards), func(t *testing.T) {
-			runDifferential(t, tc.seed, ops, tc.shards)
+			runDifferential(t, tc.seed, ops, tc.shards, 0)
+		})
+	}
+}
+
+// TestDifferentialRetention re-runs the harness with a finite retention
+// window, so the in-mix retention sweeps actually evict edge history.
+// Timestamps advance one minute per op, so a few-hour window turns over
+// many times across the sequence; the sharded store's per-stripe eviction
+// must remain indistinguishable from the oracle's single-lock one —
+// including the sequence cursors of pages that survive a sweep.
+func TestDifferentialRetention(t *testing.T) {
+	ops := 10_000
+	if testing.Short() {
+		ops = 2_500
+	}
+	for _, tc := range []struct {
+		seed   int64
+		shards int
+		window time.Duration
+	}{
+		{seed: 5, shards: 1, window: 2 * time.Hour},
+		{seed: 6, shards: 8, window: 6 * time.Hour},
+		{seed: 7, shards: 64, window: 30 * time.Minute},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d/shards=%d/window=%s", tc.seed, tc.shards, tc.window), func(t *testing.T) {
+			runDifferential(t, tc.seed, ops, tc.shards, tc.window)
 		})
 	}
 }

@@ -1,0 +1,13 @@
+package socialgraph
+
+// Test-only exports. The defense-facing differential tests live in the
+// external socialgraph_test package (defense imports socialgraph, so an
+// internal test would be an import cycle); they need the oracle and the
+// shared operation surface the internal differential harness uses.
+
+// GraphStore is the differential operation surface (see differential_test.go).
+type GraphStore = graphStore
+
+// NewTestReferenceStore exposes the single-lock oracle to external test
+// packages.
+func NewTestReferenceStore() GraphStore { return newReferenceStore() }

@@ -26,17 +26,23 @@ type referenceStore struct {
 	comments map[string]*Comment
 	// likesByObject[objectID][accountID] = like
 	likesByObject map[string]map[string]Like
-	// likeOrder preserves insertion order of likes per object for crawling.
-	likeOrder map[string][]string
+	// likeOrder preserves insertion order of likes per object for crawling,
+	// each entry carrying its never-reused arrival sequence (see edgeRef).
+	likeOrder map[string][]edgeRef
 	// postsByAuthor[authorID] = post IDs in creation order
 	postsByAuthor map[string][]string
-	// commentsByPost[postID] = comment IDs in creation order
-	commentsByPost map[string][]string
+	// commentsByPost[postID] = comment refs in creation order
+	commentsByPost map[string][]edgeRef
 	// activity[accountID] = outgoing activity log
 	activity map[string][]Activity
 	// friends[accountID] = set of friend account IDs (undirected edges,
 	// stored symmetrically); allocated lazily by AddFriendship.
 	friends map[string]map[string]bool
+	// likeSeq / commentSeq hold each object's next arrival sequence.
+	likeSeq    map[string]int
+	commentSeq map[string]int
+	// retention is the analytics window; 0 = infinite (sweeps no-op).
+	retention time.Duration
 }
 
 // newReferenceStore returns an empty reference store.
@@ -48,10 +54,12 @@ func newReferenceStore() *referenceStore {
 		posts:          make(map[string]*Post),
 		comments:       make(map[string]*Comment),
 		likesByObject:  make(map[string]map[string]Like),
-		likeOrder:      make(map[string][]string),
+		likeOrder:      make(map[string][]edgeRef),
 		postsByAuthor:  make(map[string][]string),
-		commentsByPost: make(map[string][]string),
+		commentsByPost: make(map[string][]edgeRef),
 		activity:       make(map[string][]Activity),
+		likeSeq:        make(map[string]int),
+		commentSeq:     make(map[string]int),
 	}
 }
 
@@ -209,7 +217,9 @@ func (s *referenceStore) AddLike(accountID, objectID string, meta WriteMeta) err
 		AccountID: accountID, ObjectID: objectID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	}
-	s.likeOrder[objectID] = append(s.likeOrder[objectID], accountID)
+	seq := s.likeSeq[objectID]
+	s.likeSeq[objectID] = seq + 1
+	s.likeOrder[objectID] = append(s.likeOrder[objectID], edgeRef{seq: seq, id: accountID})
 	s.activity[accountID] = append(s.activity[accountID], Activity{
 		ActorID: accountID, Verb: VerbLike, ObjectID: objectID, TargetID: targetID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
@@ -227,8 +237,8 @@ func (s *referenceStore) RemoveLike(accountID, objectID string) error {
 	}
 	delete(likes, accountID)
 	order := s.likeOrder[objectID]
-	for i, id := range order {
-		if id == accountID {
+	for i, ref := range order {
+		if ref.id == accountID {
 			s.likeOrder[objectID] = append(order[:i:i], order[i+1:]...)
 			break
 		}
@@ -243,8 +253,8 @@ func (s *referenceStore) Likes(objectID string) []Like {
 	order := s.likeOrder[objectID]
 	likes := s.likesByObject[objectID]
 	out := make([]Like, 0, len(order))
-	for _, accountID := range order {
-		if l, ok := likes[accountID]; ok {
+	for _, ref := range order {
+		if l, ok := likes[ref.id]; ok {
 			out = append(out, l)
 		}
 	}
@@ -294,7 +304,9 @@ func (s *referenceStore) AddComment(accountID, postID, message string, meta Writ
 		At:        meta.At,
 	}
 	s.comments[c.ID] = c
-	s.commentsByPost[postID] = append(s.commentsByPost[postID], c.ID)
+	seq := s.commentSeq[postID]
+	s.commentSeq[postID] = seq + 1
+	s.commentsByPost[postID] = append(s.commentsByPost[postID], edgeRef{seq: seq, id: c.ID})
 	s.activity[accountID] = append(s.activity[accountID], Activity{
 		ActorID: accountID, Verb: VerbComment, ObjectID: c.ID, TargetID: post.AuthorID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
@@ -306,10 +318,10 @@ func (s *referenceStore) AddComment(accountID, postID, message string, meta Writ
 func (s *referenceStore) Comments(postID string) []Comment {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	idsList := s.commentsByPost[postID]
-	out := make([]Comment, 0, len(idsList))
-	for _, id := range idsList {
-		out = append(out, *s.comments[id])
+	refs := s.commentsByPost[postID]
+	out := make([]Comment, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, *s.comments[ref.id])
 	}
 	return out
 }
@@ -443,4 +455,159 @@ func (s *referenceStore) AreFriends(a, b string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.friends[a][b]
+}
+
+// CreateAccountBatch registers the seeds in order, all created at at.
+func (s *referenceStore) CreateAccountBatch(seeds []AccountSeed, at time.Time) []Account {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Account, len(seeds))
+	for i, seed := range seeds {
+		a := &Account{
+			ID:        s.minter.Next(ids.KindAccount),
+			Name:      seed.Name,
+			Country:   seed.Country,
+			CreatedAt: at,
+		}
+		s.accounts[a.ID] = a
+		out[i] = *a
+	}
+	return out
+}
+
+// SetRetentionWindow configures the analytics window (0 = infinite).
+func (s *referenceStore) SetRetentionWindow(w time.Duration) {
+	if w < 0 {
+		w = 0
+	}
+	s.mu.Lock()
+	s.retention = w
+	s.mu.Unlock()
+}
+
+// RetentionWindow returns the configured analytics window.
+func (s *referenceStore) RetentionWindow() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.retention
+}
+
+// RetentionSweep evicts edge history older than now minus the window.
+func (s *referenceStore) RetentionSweep(now time.Time) SweepResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retention <= 0 {
+		return SweepResult{}
+	}
+	cutoff := now.Add(-s.retention)
+	var res SweepResult
+	for obj, refs := range s.likeOrder {
+		set := s.likesByObject[obj]
+		kept := refs[:0]
+		for _, ref := range refs {
+			if l, ok := set[ref.id]; ok && l.At.Before(cutoff) {
+				delete(set, ref.id)
+				res.Likes++
+				continue
+			}
+			kept = append(kept, ref)
+		}
+		if len(kept) == 0 {
+			delete(s.likeOrder, obj)
+			delete(s.likesByObject, obj)
+		} else {
+			s.likeOrder[obj] = kept
+		}
+	}
+	for post, refs := range s.commentsByPost {
+		kept := refs[:0]
+		for _, ref := range refs {
+			if c, ok := s.comments[ref.id]; ok && c.At.Before(cutoff) {
+				delete(s.comments, ref.id)
+				res.Comments++
+				continue
+			}
+			kept = append(kept, ref)
+		}
+		if len(kept) == 0 {
+			delete(s.commentsByPost, post)
+		} else {
+			s.commentsByPost[post] = kept
+		}
+	}
+	for acct, log := range s.activity {
+		kept := log[:0]
+		for _, act := range log {
+			if act.At.Before(cutoff) {
+				res.Activities++
+				continue
+			}
+			kept = append(kept, act)
+		}
+		if len(kept) == 0 {
+			delete(s.activity, acct)
+		} else {
+			s.activity[acct] = kept
+		}
+	}
+	return res
+}
+
+// RetainedEdges returns the currently retained edge-history counts.
+func (s *referenceStore) RetainedEdges() EdgeStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st EdgeStats
+	for _, likes := range s.likesByObject {
+		st.Likes += int64(len(likes))
+	}
+	st.Comments = int64(len(s.comments))
+	for _, log := range s.activity {
+		st.Activities += int64(len(log))
+	}
+	return st
+}
+
+// LikesPage returns the sequence-cursored likes page; see Store.LikesPage.
+func (s *referenceStore) LikesPage(objectID string, after, limit int) (page []Like, next int, more bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := s.likeOrder[objectID]
+	set := s.likesByObject[objectID]
+	start := sort.Search(len(refs), func(i int) bool { return refs[i].seq >= after })
+	end := len(refs)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	for _, ref := range refs[start:end] {
+		if l, ok := set[ref.id]; ok {
+			page = append(page, l)
+		}
+	}
+	if end < len(refs) {
+		return page, refs[end].seq, true
+	}
+	return page, 0, false
+}
+
+// CommentsPage returns the sequence-cursored comments page; see
+// Store.CommentsPage.
+func (s *referenceStore) CommentsPage(postID string, after, limit int) (page []Comment, next int, more bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := s.commentsByPost[postID]
+	start := sort.Search(len(refs), func(i int) bool { return refs[i].seq >= after })
+	end := len(refs)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	for _, ref := range refs[start:end] {
+		if c, ok := s.comments[ref.id]; ok {
+			page = append(page, *c)
+		}
+	}
+	if end < len(refs) {
+		return page, refs[end].seq, true
+	}
+	return page, 0, false
 }

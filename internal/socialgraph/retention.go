@@ -1,0 +1,210 @@
+package socialgraph
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Edge-history retention. Multi-year open-loop runs accumulate likes,
+// comments, and activity-log entries without bound; the defenses only
+// ever analyse a bounded trailing window (SynchroTrap's similarity
+// window, the rate limiters' day/week buckets, the honeypots' campaign
+// horizon), so edge history older than a configurable analytics window
+// may be aged out. Eviction is strictly scoped to edge history: accounts,
+// pages, and posts are never deleted, so the existence-is-stable argument
+// that lets cross-shard writes validate without global atomicity (see
+// DESIGN.md §6) is preserved. Sweeps lock one stripe at a time — the
+// store is never globally frozen.
+
+// SetRetentionWindow configures the analytics window. Edge history whose
+// timestamp falls more than w before the sweep instant is evicted by
+// RetentionSweep. w <= 0 restores the default infinite retention.
+func (s *Store) SetRetentionWindow(w time.Duration) {
+	if w < 0 {
+		w = 0
+	}
+	s.retentionNanos.Store(int64(w))
+}
+
+// RetentionWindow returns the configured analytics window (0 = infinite).
+func (s *Store) RetentionWindow() time.Duration {
+	return time.Duration(s.retentionNanos.Load())
+}
+
+// Retention returns the store's eviction counters. They are exported via
+// /metrics by the platform's scrape-time collectors.
+func (s *Store) Retention() *metrics.RetentionCounters { return s.retention }
+
+// SweepResult reports how many edges one RetentionSweep evicted.
+type SweepResult struct {
+	Likes      int64
+	Comments   int64
+	Activities int64
+}
+
+// Total returns the number of evicted edges across all classes.
+func (r SweepResult) Total() int64 { return r.Likes + r.Comments + r.Activities }
+
+// RetentionSweep evicts all edge history older than now minus the
+// configured window and returns what was evicted. With an infinite
+// window (the default) it is a no-op and records nothing. Shards are
+// swept one at a time under their own write lock, so concurrent traffic
+// proceeds on every other stripe.
+func (s *Store) RetentionSweep(now time.Time) SweepResult {
+	w := s.RetentionWindow()
+	if w <= 0 {
+		return SweepResult{}
+	}
+	cutoff := now.Add(-w)
+	var res SweepResult
+	for i := range s.shards {
+		sh := s.lockIdx(i)
+		likes, comments, activities := sh.evictBefore(cutoff)
+		sh.mu.Unlock()
+		res.Likes += likes
+		res.Comments += comments
+		res.Activities += activities
+	}
+	s.retention.RecordSweep(res.Likes, res.Comments, res.Activities)
+	return res
+}
+
+// evictBefore drops this stripe's likes, comments, and activity entries
+// with At strictly before cutoff. Timestamps within an object's history
+// are not necessarily monotone (organic workloads scatter At within a
+// day), so eviction filters by value rather than trimming a prefix. The
+// caller must hold the shard's write lock.
+//
+//collusionvet:locked
+func (sh *shard) evictBefore(cutoff time.Time) (likes, comments, activities int64) {
+	for obj, refs := range sh.likeOrder {
+		set := sh.likesByObject[obj]
+		kept := refs[:0]
+		for _, ref := range refs {
+			if l, ok := set[ref.id]; ok && l.At.Before(cutoff) {
+				delete(set, ref.id)
+				likes++
+				continue
+			}
+			kept = append(kept, ref)
+		}
+		if len(kept) == 0 {
+			delete(sh.likeOrder, obj)
+			delete(sh.likesByObject, obj)
+		} else {
+			sh.likeOrder[obj] = kept
+		}
+	}
+	for post, refs := range sh.commentsByPost {
+		kept := refs[:0]
+		for _, ref := range refs {
+			if c, ok := sh.comments[ref.id]; ok && c.At.Before(cutoff) {
+				delete(sh.comments, ref.id)
+				comments++
+				continue
+			}
+			kept = append(kept, ref)
+		}
+		if len(kept) == 0 {
+			delete(sh.commentsByPost, post)
+		} else {
+			sh.commentsByPost[post] = kept
+		}
+	}
+	for acct, log := range sh.activity {
+		kept := log[:0]
+		for _, act := range log {
+			if act.At.Before(cutoff) {
+				activities++
+				continue
+			}
+			kept = append(kept, act)
+		}
+		if len(kept) == 0 {
+			delete(sh.activity, acct)
+		} else {
+			sh.activity[acct] = kept
+		}
+	}
+	return likes, comments, activities
+}
+
+// EdgeStats counts the retained edge history, composed from per-shard
+// snapshots. The difference between cumulative writes and these gauges
+// is what retention has reclaimed — the memory-plateau signal.
+type EdgeStats struct {
+	Likes      int64
+	Comments   int64
+	Activities int64
+}
+
+// RetainedEdges returns the currently retained edge-history counts.
+func (s *Store) RetainedEdges() EdgeStats {
+	var st EdgeStats
+	for i := range s.shards {
+		sh := s.rlockIdx(i)
+		for _, likes := range sh.likesByObject {
+			st.Likes += int64(len(likes))
+		}
+		st.Comments += int64(len(sh.comments))
+		for _, log := range sh.activity {
+			st.Activities += int64(len(log))
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// LikesPage returns up to limit retained likes on objectID whose arrival
+// sequence is at least after, in arrival order, along with the cursor for
+// the next page and whether more likes remain. limit <= 0 means no limit.
+// Sequences are assigned at like time and never reused (see edgeRef), so
+// a cursor taken before a retention sweep or a like purge still denotes
+// the same position afterwards: evicted likes silently drop out of the
+// page, later likes keep their places.
+func (s *Store) LikesPage(objectID string, after, limit int) (page []Like, next int, more bool) {
+	sh := s.rlock(objectID)
+	defer sh.mu.RUnlock()
+	refs := sh.likeOrder[objectID]
+	set := sh.likesByObject[objectID]
+	start := sort.Search(len(refs), func(i int) bool { return refs[i].seq >= after })
+	end := len(refs)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	for _, ref := range refs[start:end] {
+		if l, ok := set[ref.id]; ok {
+			page = append(page, l)
+		}
+	}
+	if end < len(refs) {
+		return page, refs[end].seq, true
+	}
+	return page, 0, false
+}
+
+// CommentsPage returns up to limit retained comments on postID whose
+// arrival sequence is at least after, in creation order, along with the
+// cursor for the next page and whether more remain. limit <= 0 means no
+// limit. Cursor semantics match LikesPage.
+func (s *Store) CommentsPage(postID string, after, limit int) (page []Comment, next int, more bool) {
+	sh := s.rlock(postID)
+	defer sh.mu.RUnlock()
+	refs := sh.commentsByPost[postID]
+	start := sort.Search(len(refs), func(i int) bool { return refs[i].seq >= after })
+	end := len(refs)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	for _, ref := range refs[start:end] {
+		if c, ok := sh.comments[ref.id]; ok {
+			page = append(page, *c)
+		}
+	}
+	if end < len(refs) {
+		return page, refs[end].seq, true
+	}
+	return page, 0, false
+}

@@ -26,6 +26,17 @@ import (
 // sequentially, and monotonically consistent under concurrency because
 // no object is ever deleted.
 
+// edgeRef is one entry of a per-object edge-order list: the edge's key
+// (liker account ID, or comment ID) plus its absolute arrival sequence on
+// that object. Sequence numbers are assigned from an ever-increasing
+// per-object counter and never reused, so a pagination cursor anchored to
+// a sequence stays a stable position even after a retention sweep evicts
+// edges around it or RemoveLike deletes one outright.
+type edgeRef struct {
+	seq int
+	id  string
+}
+
 // shard is one lock stripe of the store. Field meanings match the
 // reference store's maps exactly; each shard holds only the keys that
 // hash to it.
@@ -36,25 +47,38 @@ type shard struct {
 	posts          map[string]*Post
 	comments       map[string]*Comment
 	likesByObject  map[string]map[string]Like
-	likeOrder      map[string][]string
+	likeOrder      map[string][]edgeRef
 	postsByAuthor  map[string][]string
-	commentsByPost map[string][]string
+	commentsByPost map[string][]edgeRef
 	activity       map[string][]Activity
 	friends        map[string]map[string]bool
+	// likeSeq and commentSeq hold each object's next arrival sequence.
+	// They outlive the edges themselves (an object whose whole history
+	// ages out keeps its counter) so sequences stay monotone forever.
+	likeSeq    map[string]int
+	commentSeq map[string]int
 }
 
-func newShard() *shard {
+func newShard() *shard { return newShardSized(0) }
+
+// newShardSized presizes the maps that grow with the account population;
+// hint is the expected number of accounts routed to this shard (0 = no
+// presizing). Bulk construction of multi-million-account graphs avoids
+// repeated incremental map growth this way.
+func newShardSized(hint int) *shard {
 	return &shard{
-		accounts:       make(map[string]*Account),
+		accounts:       make(map[string]*Account, hint),
 		pages:          make(map[string]*Page),
 		posts:          make(map[string]*Post),
 		comments:       make(map[string]*Comment),
 		likesByObject:  make(map[string]map[string]Like),
-		likeOrder:      make(map[string][]string),
+		likeOrder:      make(map[string][]edgeRef),
 		postsByAuthor:  make(map[string][]string),
-		commentsByPost: make(map[string][]string),
+		commentsByPost: make(map[string][]edgeRef),
 		activity:       make(map[string][]Activity),
 		friends:        make(map[string]map[string]bool),
+		likeSeq:        make(map[string]int),
+		commentSeq:     make(map[string]int),
 	}
 }
 

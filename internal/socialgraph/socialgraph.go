@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -120,6 +121,11 @@ type Store struct {
 	shards     []*shard
 	mask       uint32
 	contention *metrics.ShardContention
+
+	// retentionNanos is the analytics window in nanoseconds; 0 (the
+	// default) means infinite retention and makes sweeps no-ops.
+	retentionNanos atomic.Int64
+	retention      *metrics.RetentionCounters
 }
 
 // New returns an empty Store with the default GOMAXPROCS-scaled shard
@@ -129,20 +135,31 @@ func New() *Store { return NewWithShards(0) }
 // NewWithShards returns an empty Store striped across n shards. n is
 // rounded up to a power of two and clamped to [1, 1024]; n <= 0 selects
 // the default.
-func NewWithShards(n int) *Store {
+func NewWithShards(n int) *Store { return NewSized(n, 0) }
+
+// NewSized returns an empty Store striped across n shards with its
+// account-keyed maps presized for accountHint accounts. The scale
+// workload passes the target population so building a multi-million
+// account graph does not pay for incremental map rehashing.
+func NewSized(n, accountHint int) *Store {
 	if n <= 0 {
 		n = defaultShardCount()
 	}
 	n = nextPowerOfTwo(n)
+	perShard := 0
+	if accountHint > 0 {
+		perShard = accountHint / n
+	}
 	shards := make([]*shard, n)
 	for i := range shards {
-		shards[i] = newShard()
+		shards[i] = newShardSized(perShard)
 	}
 	return &Store{
 		minter:     ids.NewMinter(),
 		shards:     shards,
 		mask:       uint32(n - 1),
 		contention: metrics.NewShardContention(n),
+		retention:  &metrics.RetentionCounters{},
 	}
 }
 
@@ -359,7 +376,9 @@ func likeLocked(acctShard, objShard *shard, accountID, objectID string, meta Wri
 		AccountID: accountID, ObjectID: objectID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	}
-	objShard.likeOrder[objectID] = append(objShard.likeOrder[objectID], accountID)
+	seq := objShard.likeSeq[objectID]
+	objShard.likeSeq[objectID] = seq + 1
+	objShard.likeOrder[objectID] = append(objShard.likeOrder[objectID], edgeRef{seq: seq, id: accountID})
 	acctShard.activity[accountID] = append(acctShard.activity[accountID], Activity{
 		ActorID: accountID, Verb: VerbLike, ObjectID: objectID, TargetID: targetID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
@@ -377,8 +396,8 @@ func (s *Store) RemoveLike(accountID, objectID string) error {
 	}
 	delete(likes, accountID)
 	order := sh.likeOrder[objectID]
-	for i, id := range order {
-		if id == accountID {
+	for i, ref := range order {
+		if ref.id == accountID {
 			sh.likeOrder[objectID] = append(order[:i:i], order[i+1:]...)
 			break
 		}
@@ -393,8 +412,8 @@ func (s *Store) Likes(objectID string) []Like {
 	order := sh.likeOrder[objectID]
 	likes := sh.likesByObject[objectID]
 	out := make([]Like, 0, len(order))
-	for _, accountID := range order {
-		if l, ok := likes[accountID]; ok {
+	for _, ref := range order {
+		if l, ok := likes[ref.id]; ok {
 			out = append(out, l)
 		}
 	}
@@ -448,7 +467,9 @@ func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (C
 		At:        meta.At,
 	}
 	postShard.comments[c.ID] = c
-	postShard.commentsByPost[postID] = append(postShard.commentsByPost[postID], c.ID)
+	seq := postShard.commentSeq[postID]
+	postShard.commentSeq[postID] = seq + 1
+	postShard.commentsByPost[postID] = append(postShard.commentsByPost[postID], edgeRef{seq: seq, id: c.ID})
 	acctShard.activity[accountID] = append(acctShard.activity[accountID], Activity{
 		ActorID: accountID, Verb: VerbComment, ObjectID: c.ID, TargetID: post.AuthorID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
@@ -460,10 +481,10 @@ func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (C
 func (s *Store) Comments(postID string) []Comment {
 	sh := s.rlock(postID)
 	defer sh.mu.RUnlock()
-	idsList := sh.commentsByPost[postID]
-	out := make([]Comment, 0, len(idsList))
-	for _, id := range idsList {
-		out = append(out, *sh.comments[id])
+	refs := sh.commentsByPost[postID]
+	out := make([]Comment, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, *sh.comments[ref.id])
 	}
 	return out
 }

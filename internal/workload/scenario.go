@@ -50,6 +50,12 @@ type Options struct {
 	// benchmarks and the contention sweep flip these.
 	DeliveryBatchSize int
 	DeliveryWorkers   int
+	// RetentionWindow bounds the social graph's edge-history retention
+	// (see socialgraph.SetRetentionWindow); 0 keeps the default infinite
+	// window, so nothing is ever evicted and Table-4 outputs are
+	// untouched. Sweeps still only run when something calls
+	// Store.RetentionSweep (e.g. core.Study.SweepRetention).
+	RetentionWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +140,9 @@ func BuildScenario(opts Options) (*Scenario, error) {
 	}
 
 	p := platform.NewWithShards(clock, internet, opts.Shards)
+	if opts.RetentionWindow > 0 {
+		p.Graph.SetRetentionWindow(opts.RetentionWindow)
+	}
 	client := platform.NewLocalClient(p)
 	s := &Scenario{
 		Opts:      opts,
