@@ -92,8 +92,91 @@ func Leak(accessToken string) string {
 	}
 }
 
+// TestFactsDumpGolden pins the decoded fact set of internal/oauthsim:
+// the exact ReturnsCredential / ParamIsCredential / CredField lines the
+// package exports to its importers. A diff here means the taint
+// summaries changed — deliberate analyzer work, or an accidental
+// regression in the facts pipeline.
+func TestFactsDumpGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module and analyzes the oauthsim closure")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := buildTool(t, root)
+
+	dump := exec.Command(tool, "-facts", "repro/internal/oauthsim")
+	dump.Dir = root
+	out, err := dump.Output()
+	if err != nil {
+		t.Fatalf("collusionvet -facts: %v", err)
+	}
+	golden, err := os.ReadFile(filepath.Join(root, "cmd", "collusionvet", "testdata", "oauthsim.facts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(golden) {
+		t.Errorf("-facts repro/internal/oauthsim diverged from testdata/oauthsim.facts:\ngot:\n%s\nwant:\n%s", out, golden)
+	}
+}
+
+// TestVetCrossPackageFacts drives the full vet protocol across a
+// package boundary: a scratch module whose root package logs a value
+// returned by an innocently named helper in a second package. The
+// helper's name says nothing, so only the ReturnsCredential fact
+// carried in the dependency's .vetx file (PackageVetx wiring) can make
+// the leak visible to the root package's analysis.
+func TestVetCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module and runs go vet")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := buildTool(t, root)
+
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "credlib", "credlib.go"), `package credlib
+
+// Mint returns a bearer credential under an innocent name.
+func Mint() string {
+	secret := "opaque"
+	return secret
+}
+`)
+	writeFile(t, filepath.Join(dir, "leak.go"), `package scratch
+
+import (
+	"log"
+
+	"scratch/credlib"
+)
+
+func Leak() {
+	c := credlib.Mint()
+	log.Printf("session: %s", c)
+}
+`)
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a cross-package credential leak:\n%s", out)
+	}
+	if !strings.Contains(string(out), "tokenflow") || !strings.Contains(string(out), "leak.go") {
+		t.Fatalf("expected a tokenflow diagnostic in leak.go, got:\n%s", out)
+	}
+}
+
 func writeFile(t *testing.T, path, content string) {
 	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,9 @@ type Analyzer struct {
 }
 
 // Pass is the interface between one Analyzer run and the driver: the
-// typed syntax of a single package plus a Report sink.
+// typed syntax of a single package plus a Report sink, plus the fact
+// set carrying cross-package analyzer knowledge (may be nil in drivers
+// that do not thread facts; the fact methods are nil-safe).
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -42,6 +44,28 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	Facts     *FactSet
+}
+
+// ExportObjectFact attaches fact to obj under this analyzer's
+// namespace. Only objects of the package under analysis are accepted;
+// exports for dependency objects are silently dropped (their facts were
+// fixed when they were analyzed).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	p.Facts.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type attached to
+// obj — by this analyzer, in any package's analysis — into ptr and
+// reports whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.lookup(p.Analyzer.Name, obj, ptr)
 }
 
 // Diagnostic is one finding at a source position.

@@ -20,6 +20,7 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -69,67 +70,106 @@ func TestData(t *testing.T) string {
 // diagnostics against the package's // want expectations.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
-	dir := filepath.Join(testdata, "src", pkg)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("reading testdata package %s: %v", dir, err)
-	}
-	fset, imp := sharedImporter()
-
-	var files []*ast.File
-	var names []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		names = append(names, e.Name())
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		t.Fatalf("no Go files in %s", dir)
-	}
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("parse %s: %v", name, err)
-		}
-		files = append(files, f)
-	}
-
-	info := analysis.NewInfo()
-	conf := types.Config{Importer: imp}
-	impMu.Lock()
-	tpkg, err := conf.Check(pkg, fset, files, info)
-	impMu.Unlock()
-	if err != nil {
-		t.Fatalf("typecheck %s: %v", pkg, err)
-	}
-
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       tpkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
-	}
-
-	// Apply the same suppression filtering as the real drivers.
-	supp := analysis.NewSuppressions(fset, files)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !supp.PackageSkipped(a.Name) && !supp.Suppressed(a.Name, d.Pos) {
-			kept = append(kept, d)
-		}
-	}
-	diags = kept
-
-	check(t, fset, files, diags)
+	RunDeps(t, testdata, a, pkg)
 }
+
+// RunDeps runs the analyzer over several testdata packages in dependency
+// order (dependencies first; later packages may import earlier ones by
+// their testdata names). Facts exported while analyzing one package are
+// round-tripped through the gob codec before the next package sees them
+// — the exact serialization boundary the unitchecker driver crosses via
+// .vetx files — so a RunDeps golden proves cross-package facts survive
+// encoding, not just in-process map sharing. Every package's
+// diagnostics are checked against its own // want comments.
+func RunDeps(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset, imp := sharedImporter()
+	local := make(map[string]*types.Package)
+	localImp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := local[path]; ok {
+			return p, nil
+		}
+		return imp.Import(path)
+	})
+
+	facts := analysis.NewFactSet()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading testdata package %s: %v", dir, err)
+		}
+		var files []*ast.File
+		var names []string
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			names = append(names, e.Name())
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			t.Fatalf("no Go files in %s", dir)
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+
+		info := analysis.NewInfo()
+		conf := types.Config{Importer: localImp}
+		impMu.Lock()
+		tpkg, err := conf.Check(pkg, fset, files, info)
+		impMu.Unlock()
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", pkg, err)
+		}
+		local[pkg] = tpkg
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Facts:     facts,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+
+		// Apply the same suppression filtering as the real drivers.
+		supp := analysis.NewSuppressions(fset, files)
+		kept := diags[:0]
+		for _, d := range diags {
+			if !supp.PackageSkipped(a.Name) && !supp.Suppressed(a.Name, d.Pos) {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+
+		check(t, fset, files, diags)
+
+		// Serialize and reload, as the vet driver does between units.
+		var buf bytes.Buffer
+		if err := facts.Encode(&buf); err != nil {
+			t.Fatalf("encoding facts after %s: %v", pkg, err)
+		}
+		facts, err = analysis.DecodeFacts(&buf)
+		if err != nil {
+			t.Fatalf("decoding facts after %s: %v", pkg, err)
+		}
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 type expectation struct {
 	re    *regexp.Regexp

@@ -1,0 +1,18 @@
+package lockorder
+
+import "repro/internal/analysis"
+
+// LocksShards marks a function that returns while holding a shard lock
+// (Store.Lock-style acquirers whose unlock is the caller's job). The
+// fact is exported by the defining package's analysis and consulted at
+// call sites in importing packages, so the held-lock discipline — no
+// second acquisition while a stripe is held, unlock-closure tracking —
+// follows acquirers across package boundaries.
+type LocksShards struct{}
+
+// AFact marks LocksShards as a fact.
+func (*LocksShards) AFact() {}
+
+func init() {
+	analysis.RegisterFact(&LocksShards{})
+}

@@ -60,9 +60,9 @@ func run(pass *analysis.Pass) error {
 		decls:     analysis.FuncDecls(pass),
 		acquirers: make(map[*types.Func]bool),
 	}
-	if len(c.shards) == 0 {
-		return nil // package does not use the sharded-store pattern
-	}
+	// Even without local shard types the scan runs: calls to imported
+	// acquirers (LocksShards facts) still update lock state, so the
+	// held-lock discipline is enforced in consumer packages too.
 
 	// Fixed point: a function is an acquirer if it nets >0 lock
 	// acquisitions (its own plus calls to other acquirers).
@@ -85,6 +85,10 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 
+	for fn := range c.acquirers {
+		c.pass.ExportObjectFact(fn, &LocksShards{})
+	}
+
 	for _, fd := range sortedDecls(pass) {
 		if fd.Body == nil {
 			continue
@@ -92,6 +96,20 @@ func run(pass *analysis.Pass) error {
 		c.scanFunc(fd, true)
 	}
 	return nil
+}
+
+// isAcquirer reports whether calling fn leaves a shard lock held: a
+// package-local acquirer found by the fixed point, or an imported
+// function carrying a LocksShards fact.
+func (c *checker) isAcquirer(fn *types.Func) bool {
+	if c.acquirers[fn] {
+		return true
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		return false
+	}
+	var fact LocksShards
+	return c.pass.ImportObjectFact(fn, &fact)
 }
 
 // state tracks possibly-held shard locks during the linear scan of one
@@ -272,7 +290,7 @@ func (c *checker) bindUnlockVars(s *ast.AssignStmt, st *state) {
 			continue
 		}
 		fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
-		if fn == nil || !c.acquirers[fn] {
+		if fn == nil || !c.isAcquirer(fn) {
 			continue
 		}
 		id, ok := s.Lhs[i].(*ast.Ident)
@@ -347,7 +365,7 @@ func (c *checker) callEvent(call *ast.CallExpr, st *state, report bool) {
 		return
 	}
 	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
-	if fn != nil && c.acquirers[fn] {
+	if fn != nil && c.isAcquirer(fn) {
 		c.acquire(call, st, report)
 	}
 }

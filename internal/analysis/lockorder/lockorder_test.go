@@ -10,3 +10,7 @@ import (
 func TestLockOrder(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "lockorder")
 }
+
+func TestCrossPackageLocksShards(t *testing.T) {
+	analysistest.RunDeps(t, analysistest.TestData(t), lockorder.Analyzer, "locklib", "lockapp")
+}

@@ -1,0 +1,19 @@
+// Package lockapp consumes locklib. It defines no shard types of its
+// own, so before cross-package facts the analyzer had nothing to check
+// here; the imported LocksShards fact on locklib's acquirer is what
+// makes the double acquisition visible.
+package lockapp
+
+import "locklib"
+
+func double(s *locklib.Store) {
+	u1 := s.LockFirst()
+	u2 := s.LockFirst() // want `shard lock acquired while another shard lock is held`
+	u2()
+	u1()
+}
+
+func single(s *locklib.Store) {
+	u := s.LockFirst()
+	defer u()
+}

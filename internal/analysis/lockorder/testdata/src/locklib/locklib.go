@@ -1,0 +1,27 @@
+// Package locklib is the dependency side of the lockorder facts golden:
+// a sharded store whose exported acquirer returns holding a stripe
+// lock. The LocksShards fact it exports is what lets importing packages
+// be checked for held-lock discipline.
+package locklib
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Store stripes its state across shards.
+type Store struct {
+	shards []*shard
+}
+
+// LockFirst acquires stripe 0 and returns holding it; the caller
+// releases via the returned closure.
+//
+//collusionvet:lockorder
+func (s *Store) LockFirst() func() {
+	sh := s.shards[0]
+	sh.mu.Lock()
+	return sh.mu.Unlock
+}

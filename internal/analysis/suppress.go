@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -18,19 +19,38 @@ import (
 //
 // disables that analyzer for the whole package (vet-style per-package
 // opt-out). The name "all" matches every analyzer.
+//
+// Each allow directive also records whether it ever matched a
+// diagnostic: a suppression that suppresses nothing is dead weight that
+// hides future regressions (the finding it once covered was fixed, or
+// cross-package facts made the analyzer smarter), so the unitchecker
+// driver reports unused allows as errors via UnusedAllows.
 type Suppressions struct {
 	fset *token.FileSet
-	// allow[file][line] = set of analyzer names allowed on that line.
-	allow map[string]map[int]map[string]bool
+	// allow[file][line][analyzer] points at the governing directive, so
+	// a hit marks it used.
+	allow map[string]map[int]map[string]*AllowDirective
 	// skip = analyzer names disabled for the entire package.
 	skip map[string]bool
+
+	directives []*AllowDirective
+}
+
+// AllowDirective is one //collusionvet:allow comment, tracked for the
+// unused-suppression check. Pos is the comment's own position; Name is
+// one analyzer name it lists ("all" for every analyzer) — a comment
+// listing several analyzers yields one directive per name.
+type AllowDirective struct {
+	Pos  token.Pos
+	Name string
+	used bool
 }
 
 // NewSuppressions scans the comments of files for suppression directives.
 func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	s := &Suppressions{
 		fset:  fset,
-		allow: make(map[string]map[int]map[string]bool),
+		allow: make(map[string]map[int]map[string]*AllowDirective),
 		skip:  make(map[string]bool),
 	}
 	for _, f := range files {
@@ -68,9 +88,11 @@ func (s *Suppressions) directive(c *ast.Comment) {
 			s.skip[name] = true
 			continue
 		}
+		d := &AllowDirective{Pos: c.Pos(), Name: name}
+		s.directives = append(s.directives, d)
 		byLine := s.allow[pos.Filename]
 		if byLine == nil {
-			byLine = make(map[int]map[string]bool)
+			byLine = make(map[int]map[string]*AllowDirective)
 			s.allow[pos.Filename] = byLine
 		}
 		// The directive covers its own line and the next one, so both
@@ -78,10 +100,10 @@ func (s *Suppressions) directive(c *ast.Comment) {
 		for _, line := range []int{pos.Line, pos.Line + 1} {
 			set := byLine[line]
 			if set == nil {
-				set = make(map[string]bool)
+				set = make(map[string]*AllowDirective)
 				byLine[line] = set
 			}
-			set[name] = true
+			set[name] = d
 		}
 	}
 }
@@ -93,9 +115,43 @@ func (s *Suppressions) PackageSkipped(name string) bool {
 }
 
 // Suppressed reports whether a diagnostic from the named analyzer at pos
-// is covered by an allow directive.
+// is covered by an allow directive, and marks the directive used.
 func (s *Suppressions) Suppressed(name string, pos token.Pos) bool {
 	p := s.fset.Position(pos)
 	set := s.allow[p.Filename][p.Line]
-	return set[name] || set["all"]
+	for _, key := range []string{name, "all"} {
+		if d := set[key]; d != nil {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// UnusedAllows returns, in position order, every allow directive that
+// suppressed nothing during this run and whose analyzer actually ran
+// (ran["tokenflow"] etc.; a directive for a disabled analyzer is not
+// judged — nothing could have hit it). "all" directives are judged when
+// any analyzer ran.
+func (s *Suppressions) UnusedAllows(ran map[string]bool) []*AllowDirective {
+	anyRan := false
+	for _, on := range ran {
+		anyRan = anyRan || on
+	}
+	var out []*AllowDirective
+	for _, d := range s.directives {
+		if d.used {
+			continue
+		}
+		if d.Name == "all" {
+			if !anyRan {
+				continue
+			}
+		} else if !ran[d.Name] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }

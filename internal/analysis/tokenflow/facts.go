@@ -1,0 +1,59 @@
+package tokenflow
+
+import "repro/internal/analysis"
+
+// The tokenflow fact kinds. Facts are computed while analyzing the
+// package that *defines* an object — where the analyzer can see the
+// function body, the struct literal, or the //collusionvet:redacts
+// annotation — serialized into the package's .vetx file, and consulted
+// when analyzing any package that imports it. They replace the
+// name-heuristic guesses tokenflow previously made at cross-package
+// call sites: a helper can return a credential under any name, and a
+// redactor annotated in one package is honored in every other.
+
+// ReturnsCredential marks a function some of whose results carry a
+// bearer credential: the defining-package analysis saw a tainted value
+// reach a return statement (or the function is credential-named with a
+// string-shaped result, the legacy definition-site heuristic). Results
+// lists the tainted result indices, sorted.
+type ReturnsCredential struct{ Results []int }
+
+// AFact marks ReturnsCredential as a fact.
+func (*ReturnsCredential) AFact() {}
+
+// ParamIsCredential marks parameter positions through which credential
+// taint flows: a parameter that is credential-named, one the function
+// writes a credential through (pointer/map fill), or one it forwards
+// into its own string result (fmt.Sprintf-style wrappers). At a call
+// site, a tainted argument at a listed position taints the call's
+// string result, and a listed pointer-shaped argument's pointee is
+// tainted after the call. Params lists parameter indices, sorted.
+type ParamIsCredential struct{ Params []int }
+
+// AFact marks ParamIsCredential as a fact.
+func (*ParamIsCredential) AFact() {}
+
+// Redacts marks a sanctioned redactor: its results are safe to log
+// whatever its inputs were. Exported for //collusionvet:redacts
+// annotated helpers and for everything in a .../redact package, so the
+// annotation now works across package boundaries.
+type Redacts struct{}
+
+// AFact marks Redacts as a fact.
+func (*Redacts) AFact() {}
+
+// CredField marks a struct field that holds a credential: either
+// credential-named with a string-shaped type, or assigned a tainted
+// value somewhere in the defining package (which is how innocently
+// named fields like an OAuth authorization Code are caught).
+type CredField struct{}
+
+// AFact marks CredField as a fact.
+func (*CredField) AFact() {}
+
+func init() {
+	analysis.RegisterFact(&ReturnsCredential{})
+	analysis.RegisterFact(&ParamIsCredential{})
+	analysis.RegisterFact(&Redacts{})
+	analysis.RegisterFact(&CredField{})
+}

@@ -1,0 +1,50 @@
+// Package app is the consumer side of the cross-package facts golden:
+// it imports credlib and logs its values. Every flagged line leaks a
+// credential the analyzer can only know about through credlib's
+// exported facts; every clean line proves the facts carry no
+// over-taint.
+package app
+
+import (
+	"log"
+
+	"credlib"
+)
+
+func leakReturn() {
+	c := credlib.Mint()
+	log.Print(c) // want `bearer-token leak`
+}
+
+func leakReturnDirect() {
+	log.Print(credlib.Mint()) // want `bearer-token leak`
+}
+
+func leakOutParam() {
+	var c string
+	credlib.Fill(&c)
+	log.Print(c) // want `bearer-token leak`
+}
+
+func leakWrapped(token string) {
+	log.Print(credlib.Wrap("bearer", token)) // want `bearer-token leak`
+}
+
+func leakField(s credlib.Session) {
+	log.Printf("session %s", s.Auth) // want `bearer-token leak`
+}
+
+func cleanField(s credlib.Session) {
+	log.Printf("session %s", s.ID)
+}
+
+func cleanMasked() {
+	log.Print(credlib.Mask(credlib.Mint()))
+	var c string
+	credlib.Fill(&c)
+	log.Print(credlib.Mask(c))
+}
+
+func cleanWrapped(user string) {
+	log.Print(credlib.Wrap("user", user))
+}

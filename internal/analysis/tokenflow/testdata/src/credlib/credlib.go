@@ -1,0 +1,49 @@
+// Package credlib is the dependency side of the cross-package facts
+// golden: every helper here is deliberately named so the old call-site
+// name heuristics would NEVER flag its results — only the facts this
+// package's analysis exports (ReturnsCredential, ParamIsCredential,
+// Redacts, CredField) let the app package see the taint.
+package credlib
+
+// Mint returns a fresh bearer credential under an innocent name; the
+// tainted return is what exports ReturnsCredential.
+func Mint() string {
+	secret := "opaque-bearer-value"
+	return secret
+}
+
+// Fill writes a credential through its out-parameter
+// (ParamIsCredential via the pointer-write summary).
+func Fill(dst *string) {
+	*dst = Mint()
+}
+
+// Wrap forwards both parameters into its string result
+// (ParamIsCredential via the propagation summary): a tainted argument
+// taints the wrapped result at any call site.
+func Wrap(prefix, value string) string {
+	return prefix + ":" + value
+}
+
+// Session carries its credential in a field whose name says nothing
+// (CredField via the tainted-assignment summary).
+type Session struct {
+	ID   string
+	Auth string
+}
+
+// NewSession mints a session credential into the Auth field.
+func NewSession(id string) Session {
+	return Session{ID: id, Auth: Mint()}
+}
+
+// Mask is the sanctioned redactor; the annotation becomes a Redacts
+// fact honored by importing packages.
+//
+//collusionvet:redacts
+func Mask(s string) string {
+	if len(s) <= 4 {
+		return "***"
+	}
+	return s[:4] + "***"
+}

@@ -1,0 +1,80 @@
+// Package wrapper is golden testdata for tokenflow's body-derived
+// summaries: variadic forwarding through fmt.Sprintf-style wrappers
+// (the regression that let obs span attributes leak via a formatting
+// helper), credential-returning helpers with innocent names, pointer
+// out-parameters, and struct fields that become credentials only
+// because a tainted value is stored in them.
+package wrapper
+
+import (
+	"fmt"
+	"log"
+)
+
+// attr forwards its variadic arguments into a value-returning
+// formatter; a tainted argument must taint the result.
+func attr(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// kv concatenates; same propagation, no fmt involved.
+func kv(key, value string) string { return key + "=" + value }
+
+// mint returns an opaque credential in its second result under an
+// innocent name — callers learn that only from the return summary.
+func mint() (string, string) {
+	token := "opaque-value"
+	return "id", token
+}
+
+// fill writes a credential through its out-parameter.
+func fill(dst *string) {
+	*dst = "tok-" + newRandomSecret()
+}
+
+func newRandomSecret() string { return "s3cr3t" }
+
+// grant's Code field is never credential-named, but newGrant stores a
+// secret in it, which marks the field credential-bearing.
+type grant struct {
+	ID   string
+	Code string
+}
+
+func newGrant() grant {
+	return grant{ID: "g1", Code: newRandomSecret()}
+}
+
+func wrapperLeaks(token string) {
+	log.Print(attr("t=%s", token)) // want `bearer-token leak`
+	log.Print(kv("token", token))  // want `bearer-token leak`
+	s := attr("t=%s", token)
+	log.Print(s) // want `bearer-token leak`
+}
+
+func wrapperClean(user string) {
+	log.Print(attr("u=%s", user))
+	log.Print(kv("user", user))
+}
+
+func tupleLeak() {
+	id, cred := mint()
+	log.Print(cred) // want `bearer-token leak`
+	log.Print(id)
+}
+
+func fillLeak() {
+	var c string
+	fill(&c)
+	log.Print(c) // want `bearer-token leak`
+}
+
+func fieldLeak(g grant) {
+	log.Printf("grant %s", g.Code) // want `bearer-token leak`
+	log.Printf("grant %s", g.ID)
+}
+
+func useAll() {
+	g := newGrant()
+	fieldLeak(g)
+}

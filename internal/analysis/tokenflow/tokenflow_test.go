@@ -15,6 +15,14 @@ func TestObsSinks(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "obs")
 }
 
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.RunDeps(t, analysistest.TestData(t), tokenflow.Analyzer, "credlib", "app")
+}
+
+func TestWrapperForwarding(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "wrapper")
+}
+
 func TestPackageSkip(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), tokenflow.Analyzer, "skip")
 }

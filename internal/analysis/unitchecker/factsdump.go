@@ -1,0 +1,135 @@
+package unitchecker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the facts dump uses.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// runFactsDump implements `collusionvet -facts ./pkg/...`: it analyzes
+// the named packages and their module-local dependencies in dependency
+// order — the same per-package analysis the vet driver performs, facts
+// threaded through one accumulating set instead of .vetx files — and
+// prints the decoded facts attached to the named packages' objects, one
+// sorted line per fact. This is the debug view of what a package's
+// .vetx contributes to its importers.
+func runFactsDump(patterns []string, analyzers []*analysis.Analyzer, enabled map[string]*bool) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets := goListPackages(append([]string{"list", "-json=ImportPath", "--"}, patterns...))
+	// -export builds and reports export data for every dependency, which
+	// the gc importer below reads in place of source re-typechecking.
+	closure := goListPackages(append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard", "--"}, patterns...))
+
+	fset := token.NewFileSet()
+	facts := analysis.NewFactSet()
+	packageFile := make(map[string]string)
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc := importer.ForCompiler(fset, "gc", lookup)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+
+	// go list -deps emits dependencies before dependents, so by the time
+	// a package is analyzed its dependencies' facts are in the set.
+	for _, p := range closure {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue // stdlib keeps the no-facts fast path, as in vet mode
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			files = append(files, f)
+		}
+		info := analysis.NewInfo()
+		tconf := types.Config{Importer: imp, Error: func(error) {}}
+		pkg, err := tconf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			fatalf("typechecking %s: %v", p.ImportPath, err)
+		}
+		for _, a := range analyzers {
+			if !*enabled[a.Name] {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     files,
+				Pkg:       pkg,
+				TypesInfo: info,
+				Report:    func(analysis.Diagnostic) {}, // facts only
+				Facts:     facts,
+			}
+			if err := a.Run(pass); err != nil {
+				fatalf("analyzer %s on %s: %v", a.Name, p.ImportPath, err)
+			}
+		}
+	}
+
+	for _, t := range targets {
+		for _, line := range facts.Dump(t.ImportPath) {
+			fmt.Println(line)
+		}
+	}
+	os.Exit(0)
+}
+
+// goListPackages runs `go <args>` and decodes its JSON package stream.
+func goListPackages(args []string) []listPkg {
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fatalf("go %s: %v", args[0], err)
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			fatalf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs
+}

@@ -10,7 +10,12 @@
 //	tool -flags         → JSON array of the tool's flags
 //	tool [flags] x.cfg  → analyze one package described by the JSON
 //	                      config; diagnostics to stderr, exit 2 if any;
-//	                      an (empty) facts file is written to VetxOutput
+//	                      the gob-encoded fact set (this package's plus
+//	                      its dependencies', see analysis.FactSet) is
+//	                      written to VetxOutput, and the facts of each
+//	                      dependency are read back via PackageVetx —
+//	                      that is how tokenflow/lockorder knowledge
+//	                      crosses package boundaries
 //
 // Typechecking uses the export data cmd/go already built: the config's
 // PackageFile map points at compiled export files, read through
@@ -26,6 +31,7 @@
 package unitchecker
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -92,6 +98,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	jsonFlag := fs.Bool("json", false, "emit JSON diagnostics to stdout")
+	factsFlag := fs.Bool("facts", false, "dump the decoded fact set of the named packages and exit (debug)")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+firstLine(a.Doc)+")")
@@ -104,6 +111,10 @@ func Main(analyzers ...*analysis.Analyzer) {
 	_ = fs.Parse(os.Args[1:])
 	args := fs.Args()
 
+	if *factsFlag {
+		runFactsDump(args, analyzers, enabled)
+		return // unreachable; runFactsDump exits
+	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		runVetCfg(args[0], analyzers, enabled, *jsonFlag)
 		return // unreachable; runVetCfg exits
@@ -158,15 +169,22 @@ func runVetCfg(cfgFile string, analyzers []*analysis.Analyzer, enabled map[strin
 		fatalf("parsing vet config %s: %v", cfgFile, err)
 	}
 
-	// cmd/go expects a facts file regardless of findings; the suite has
-	// no cross-package facts, so an empty file suffices.
+	// Seed the output with a valid empty facts file immediately: cmd/go
+	// expects one regardless of findings, the SucceedOnTypecheckFailure
+	// exits below must still satisfy it, and DecodeFacts reads an empty
+	// file as an empty set. Real facts overwrite it after analysis.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fatalf("writing vetx output: %v", err)
 		}
 	}
-	if cfg.VetxOnly {
-		os.Exit(0) // dependency run: facts only, no diagnostics wanted
+	// Dependency units outside the module (the standard library) keep
+	// the fast path: no analysis, empty facts. tokenflow/lockorder model
+	// fmt, log, net/url and sync directly, and computing taint summaries
+	// for all of std would both cost a full-stdlib source typecheck and
+	// risk heuristic facts on stdlib internals.
+	if cfg.VetxOnly && (cfg.ModulePath == "" || cfg.Standard[cfg.ImportPath]) {
+		os.Exit(0)
 	}
 
 	fset := token.NewFileSet()
@@ -196,13 +214,38 @@ func runVetCfg(cfgFile string, analyzers []*analysis.Analyzer, enabled map[strin
 		fatalf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
+	// Facts of every dependency, decoded from the .vetx files cmd/go
+	// recorded in PackageVetx. A version mismatch means a dependency was
+	// vetted by a driver with a different fact schema; refuse rather
+	// than analyze with silently-missing knowledge.
+	facts := analysis.NewFactSet()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		f, err := os.Open(cfg.PackageVetx[path])
+		if err != nil {
+			fatalf("opening facts of %q: %v", path, err)
+		}
+		dep, err := analysis.DecodeFacts(f)
+		f.Close()
+		if err != nil {
+			fatalf("facts of %q: %v", path, err)
+		}
+		facts.Merge(dep)
+	}
+
 	supp := analysis.NewSuppressions(fset, files)
 	byAnalyzer := make(map[string][]analysis.Diagnostic)
+	ran := make(map[string]bool)
 	total := 0
 	for _, a := range analyzers {
 		if !*enabled[a.Name] || supp.PackageSkipped(a.Name) {
 			continue
 		}
+		ran[a.Name] = true
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -211,6 +254,7 @@ func runVetCfg(cfgFile string, analyzers []*analysis.Analyzer, enabled map[strin
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			fatalf("analyzer %s: %v", a.Name, err)
@@ -222,6 +266,34 @@ func runVetCfg(cfgFile string, analyzers []*analysis.Analyzer, enabled map[strin
 			byAnalyzer[a.Name] = append(byAnalyzer[a.Name], d)
 			total++
 		}
+	}
+
+	// The output now carries the merged set — this package's facts plus
+	// its dependencies' — so facts propagate transitively even to units
+	// that only list direct dependencies in PackageVetx. The canonical
+	// encoding makes repeated runs byte-identical (CI asserts this).
+	if cfg.VetxOutput != "" {
+		var buf bytes.Buffer
+		if err := facts.Encode(&buf); err != nil {
+			fatalf("encoding facts: %v", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0) // dependency run: facts only, no diagnostics wanted
+	}
+
+	// A suppression that suppressed nothing is dead weight hiding future
+	// regressions; report it like any other finding so CI fails on it.
+	for _, d := range supp.UnusedAllows(ran) {
+		byAnalyzer["suppress"] = append(byAnalyzer["suppress"], analysis.Diagnostic{
+			Pos: d.Pos,
+			Message: fmt.Sprintf("unused //collusionvet:allow %s: nothing was suppressed here; remove the directive",
+				d.Name),
+		})
+		total++
 	}
 
 	if jsonOut {

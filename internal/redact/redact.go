@@ -32,8 +32,6 @@ var sensitiveKeys = map[string]bool{
 
 // Token masks a credential for safe logging, keeping a short prefix so
 // operators can tell tokens apart without learning them.
-//
-//collusionvet:redacts
 func Token(s string) string {
 	if len(s) <= keep {
 		return "***"
@@ -46,8 +44,6 @@ func Token(s string) string {
 // original token material even when the fragment is not key=value
 // shaped (the implicit flow puts access_token in the fragment, which is
 // exactly the part collusion-network members are told to copy).
-//
-//collusionvet:redacts
 func URL(u *url.URL) string {
 	if u == nil {
 		return ""
@@ -62,8 +58,6 @@ func URL(u *url.URL) string {
 
 // URLString parses raw and redacts it; if raw is not a parseable URL
 // the whole string is masked rather than risking a leak.
-//
-//collusionvet:redacts
 func URLString(raw string) string {
 	u, err := url.Parse(raw)
 	if err != nil {
