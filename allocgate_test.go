@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/socialgraph"
+)
+
+// Allocation gates for the two hottest store paths. These are regression
+// tripwires, not targets: the bounds carry ~2x headroom over measured
+// HEAD so noise and minor refactors pass, while an accidental per-op
+// allocation (a closure capture, a map rebuild, fmt in the hot loop)
+// fails loudly. CI runs them in the bench-trajectory job alongside
+// `repro bench`.
+
+// TestAllocGateAddLikeBatch bounds the per-burst allocation count of the
+// store-level batch apply — the collusion delivery hot path. A 50-op
+// burst against a warm post must stay O(burst): each like appends one
+// edge and one per-account entry, so the budget is a small multiple of
+// the burst size, never O(members) or per-op map churn.
+func TestAllocGateAddLikeBatch(t *testing.T) {
+	const burst = 50
+	w := newBenchWorld(t, 1)
+	graph := w.p.Graph
+	accounts := make([]string, burst)
+	for i := range accounts {
+		accounts[i] = graph.CreateAccount(fmt.Sprintf("gate-liker-%d", i), "IN", w.clock.Now()).ID
+	}
+	meta := socialgraph.WriteMeta{SourceIP: "192.0.2.1", At: w.clock.Now()}
+	ops := make([]socialgraph.LikeOp, burst)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		post, err := graph.CreatePost(w.post.AuthorID, "p", socialgraph.WriteMeta{At: w.clock.Now()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, acct := range accounts {
+			ops[j] = socialgraph.LikeOp{AccountID: acct, ObjectID: post.ID, Meta: meta}
+		}
+		for _, err := range graph.AddLikeBatch(ops) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	t.Logf("CreatePost+AddLikeBatch(%d ops): %.0f allocs/run", burst, allocs)
+	// Measured at HEAD: ~35 allocs for CreatePost + 50 likes (<1/like —
+	// edges append into pre-grown slices). Gate at 128: amortized slice
+	// growth passes, anything per-op (~50+ new allocs) trips.
+	if limit := float64(128); allocs > limit {
+		t.Errorf("CreatePost+AddLikeBatch(%d ops) = %.0f allocs/run, gate %v", burst, allocs, limit)
+	}
+}
+
+// TestAllocGateTokenValidate bounds token validation — on the critical
+// path of every Graph API call. Lookup of a warm token must not allocate
+// per call beyond the returned TokenInfo copy.
+func TestAllocGateTokenValidate(t *testing.T) {
+	w := newBenchWorld(t, 1)
+	tok := w.tokens[0]
+
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := w.p.OAuth.Validate(tok); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("OAuth.Validate: %.0f allocs/run", allocs)
+	// Measured at HEAD: 1 alloc per Validate (the TokenInfo copy). Gate at 4.
+	if limit := float64(4); allocs > limit {
+		t.Errorf("OAuth.Validate = %.0f allocs/run, gate %v", allocs, limit)
+	}
+}

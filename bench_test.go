@@ -276,7 +276,7 @@ type benchWorld struct {
 	post   socialgraph.Post
 }
 
-func newBenchWorld(b *testing.B, members int) *benchWorld {
+func newBenchWorld(b testing.TB, members int) *benchWorld {
 	b.Helper()
 	clock := simclock.NewSimulated(benchEpoch)
 	p := platform.New(clock, nil)

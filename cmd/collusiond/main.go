@@ -12,7 +12,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -21,6 +20,7 @@ import (
 
 	"repro/internal/collusion"
 	"repro/internal/obs"
+	"repro/internal/obs/runtimestats"
 	"repro/internal/platform"
 	"repro/internal/simclock"
 )
@@ -29,12 +29,12 @@ import (
 // /debug/traces, and net/http/pprof — on their own listener so the
 // delivery engine's stats can be scraped without touching the
 // member-facing site.
-func serveMetrics(addr string, o *obs.Observer) {
+func serveMetrics(addr string, o *obs.Observer, logger *obs.Logger) {
 	mux := http.NewServeMux()
 	o.RegisterDebug(mux)
 	go func() {
 		if err := http.ListenAndServe(addr, mux); err != nil && err != http.ErrServerClosed {
-			log.Printf("collusiond: metrics server: %v", err)
+			logger.Errorf("metrics server: %v", err)
 		}
 	}()
 }
@@ -52,8 +52,12 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/traces, and pprof on this address (empty disables)")
 	flag.Parse()
 
+	// All diagnostics flow through the redacting leveled logger — member
+	// tokens must never reach stderr intact, even inside error strings.
+	logger := obs.NewLogger("collusiond", os.Stderr, obs.LevelInfo).WithClock(simclock.NewReal())
+
 	if *appID == "" || *redirect == "" {
-		log.Fatal("collusiond: -app and -redirect are required (see platformd output)")
+		logger.Fatalf("-app and -redirect are required (see platformd output)")
 	}
 
 	client := platform.NewHTTPClient(*platformURL)
@@ -75,8 +79,11 @@ func main() {
 	network := collusion.NewNetwork(cfg, simclock.NewReal(), client)
 	observer := obs.New(simclock.NewReal())
 	network.SetObserver(observer)
+	sampler := runtimestats.Register(observer.M(), simclock.NewReal())
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, observer)
+		serveMetrics(*metricsAddr, observer, logger)
+		sampler.Start(5 * time.Second)
+		defer sampler.Stop()
 	}
 
 	fmt.Printf("collusiond %q listening on http://%s\n", *name, *addr)
@@ -93,7 +100,7 @@ func main() {
 		_ = srv.Shutdown(ctx)
 	}()
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	st := network.Stats()
 	fmt.Printf("collusiond: shut down; tokens=%d likes=%d revenue=$%.2f\n",

@@ -11,26 +11,27 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/experiments"
 	"repro/internal/honeypot"
 	"repro/internal/obs"
+	"repro/internal/obs/runtimestats"
 	"repro/internal/platform"
 	"repro/internal/simclock"
 )
 
 // serveMetrics exposes /metrics, /debug/traces, and net/http/pprof on
 // addr in the background.
-func serveMetrics(addr string, o *obs.Observer) {
+func serveMetrics(addr string, o *obs.Observer, logger *obs.Logger) {
 	mux := http.NewServeMux()
 	o.RegisterDebug(mux)
 	go func() {
 		if err := http.ListenAndServe(addr, mux); err != nil && err != http.ErrServerClosed {
-			log.Printf("milker: metrics server: %v", err)
+			logger.Errorf("metrics server: %v", err)
 		}
 	}()
 }
@@ -50,6 +51,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/traces, and pprof on this address (empty disables)")
 	flag.Parse()
 
+	// All diagnostics flow through the redacting leveled logger — a
+	// token in an error string is masked before it can reach stderr.
+	logger := obs.NewLogger("milker", os.Stderr, obs.LevelInfo).WithClock(simclock.NewReal())
+
 	// The campaign's own telemetry: progress counters plus pprof, so a
 	// long milking run can be watched and profiled while it works.
 	observer := obs.New(simclock.NewReal())
@@ -57,8 +62,11 @@ func main() {
 		"Honeypot posts successfully milked.").With()
 	observed := observer.M().Counter("milker_likes_observed_total",
 		"Likes observed on milked honeypot posts.").With()
+	sampler := runtimestats.Register(observer.M(), simclock.NewReal())
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, observer)
+		serveMetrics(*metricsAddr, observer, logger)
+		sampler.Start(5 * time.Second)
+		defer sampler.Stop()
 	}
 
 	if *demo {
@@ -68,14 +76,14 @@ func main() {
 			Seed:         *seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		fmt.Print(res.Table.String())
 		return
 	}
 
 	if *platformURL == "" || *siteURL == "" || *appID == "" || *redirect == "" || *account == "" {
-		log.Fatal("milker: need -demo, or -platform/-site/-app/-redirect/-account")
+		logger.Fatalf("need -demo, or -platform/-site/-app/-redirect/-account")
 	}
 
 	// HTTP mode: the honeypot acts as a pre-registered platform account
@@ -92,19 +100,19 @@ func main() {
 		AccountID: *account,
 	})
 	if err := hp.Join(); err != nil {
-		log.Fatalf("milker: join failed (is the honeypot account registered on the platform?): %v", err)
+		logger.Fatalf("join failed (is the honeypot account registered on the platform?): %v", err)
 	}
 	est := honeypot.NewEstimator()
 	for i := 0; i < *posts; i++ {
 		postID, delivered, err := hp.MilkOnce()
 		if err != nil {
-			log.Printf("milker: post %d: %v", i+1, err)
+			logger.Warnf("post %d: %v", i+1, err)
 			time.Sleep(time.Second)
 			continue
 		}
 		likes, err := client.LikesOf(hp.Token(), postID)
 		if err != nil {
-			log.Printf("milker: crawling %s: %v", postID, err)
+			logger.Warnf("crawling %s: %v", postID, err)
 			continue
 		}
 		likers := make([]string, len(likes))

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/netsim"
+	"repro/internal/obs/runtimestats"
 	"repro/internal/platform"
 	"repro/internal/redact"
 	"repro/internal/simclock"
@@ -37,6 +38,12 @@ func main() {
 	must(internet.RegisterAS(netsim.AS{Number: 65000, Name: "GENERIC-HOSTING", Country: "US"}, "192.168.0.0/16"))
 
 	p := platform.New(simclock.NewReal(), internet)
+
+	// Runtime/GC families on /metrics, sampled in the background so the
+	// GC-pause histogram and alloc-rate gauge stay fresh between scrapes.
+	sampler := runtimestats.Register(p.Obs.M(), simclock.NewReal())
+	sampler.Start(5 * time.Second)
+	defer sampler.Stop()
 
 	susceptible := p.Apps.Register(apps.Config{
 		Name:              "HTC Sense",

@@ -4,11 +4,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/runtimestats"
+	"repro/internal/simclock"
 	"repro/internal/workload"
 )
 
@@ -27,10 +30,18 @@ func TestObservabilityScrape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Mirror main()'s daemon wiring: runtime families on the platform
+	// registry, one sample so the sampler-fed gauges have data. Measure
+	// every eligible alloc window so the per-op gauges are guaranteed to
+	// materialize from a single round.
+	sampler := runtimestats.Register(s.Scenario.Platform.Obs.M(), simclock.Real{})
+	s.Scenario.Platform.Obs.A().SetSampleEvery(1)
 	if res := s.MilkNetwork("mg-likers.com"); res.Err != nil {
 		t.Fatal(res.Err)
 	}
 	s.Countermeasures().SetTokenRateLimit(10, time.Hour)
+	runtime.GC() // guarantee >= 1 pause so the GC histogram has series
+	sampler.Sample()
 
 	srv := httptest.NewServer(buildHandler(s.Scenario.Platform))
 	defer srv.Close()
@@ -64,6 +75,15 @@ func TestObservabilityScrape(t *testing.T) {
 		`oauth_tokens_invalidated_total`,
 		`defense_actions_total{countermeasure="token-rate-limit",action="deploy"} 1`,
 		`socialgraph_shard_lock_total{shard="0",outcome=`,
+		`runtime_goroutines`,
+		`runtime_heap_alloc_bytes`,
+		`runtime_gc_pause_seconds_bucket`,
+		`runtime_sched_latency_seconds{quantile="0.99"}`,
+		`allocs_per_op{op="graphapi.like_batch"}`,
+		`allocs_per_op{op="defense.chain"}`,
+		`allocs_per_op{op="shard.apply"}`,
+		`allocs_per_op{op="milk.round"}`,
+		`traces_dropped_total`,
 	} {
 		if !strings.Contains(metricsBody, want) {
 			t.Errorf("/metrics missing %q", want)

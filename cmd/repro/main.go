@@ -8,6 +8,8 @@
 //	repro -exp all                 # everything (takes a few minutes)
 //	repro -list                    # list experiment IDs
 //	repro scale -accounts 1000000  # scale mode: big graph + open-loop load
+//	repro bench -out BENCH_8.json  # benchmark trajectory point
+//	repro bench -compare old.json  # diff against a previous point
 //
 // The -scale flag divides the paper's population sizes (default 100);
 // -seed fixes the run's randomness so output is reproducible.
@@ -26,6 +28,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scale" {
 		runScale(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "", "experiment ID(s), comma separated, or 'all'")

@@ -88,15 +88,17 @@ func (s *Study) Clock() *simclock.Simulated { return s.Scenario.Clock }
 // milking spans land in and the registry /metrics serves.
 func (s *Study) Observer() *obs.Observer { return s.Scenario.Platform.Obs }
 
-// milkSpan opens the per-network per-round span; closeMilkSpan annotates
-// it with the round's outcome.
-func (s *Study) milkSpan(network string) *obs.Span {
+// milkSpan opens the per-network per-round span and an allocation window
+// over the whole round; closeMilkSpan annotates the span with the round's
+// outcome and closes the window (allocs_per_op{op="milk.round"}).
+func (s *Study) milkSpan(network string) (*obs.Span, obs.AllocSample) {
 	_, span := s.Observer().T().StartSpan(nil, "milk.round")
 	span.SetAttr("network", network)
-	return span
+	return span, s.Observer().A().Begin(nil, "milk.round")
 }
 
-func closeMilkSpan(span *obs.Span, res MilkResult) {
+func closeMilkSpan(span *obs.Span, as obs.AllocSample, res MilkResult) {
+	as.End(1)
 	if span == nil {
 		return
 	}
@@ -146,8 +148,8 @@ func (s *Study) MilkNetwork(name string) (res MilkResult) {
 	if !ok {
 		return MilkResult{Network: name, Err: fmt.Errorf("core: unknown network %q", name)}
 	}
-	span := s.milkSpan(name)
-	defer func() { closeMilkSpan(span, res) }()
+	span, allocs := s.milkSpan(name)
+	defer func() { closeMilkSpan(span, allocs, res) }()
 	postID, delivered, err := hp.MilkOnce()
 	if err != nil && errors.Is(err, collusion.ErrNotMember) {
 		span.Event("rejoin")
@@ -201,8 +203,8 @@ func (s *Study) MilkVia(hp *honeypot.Honeypot, network string) (res MilkResult) 
 	if !ok {
 		return MilkResult{Network: network, Err: fmt.Errorf("core: unknown network %q", network)}
 	}
-	span := s.milkSpan(network)
-	defer func() { closeMilkSpan(span, res) }()
+	span, allocs := s.milkSpan(network)
+	defer func() { closeMilkSpan(span, allocs, res) }()
 	postID, delivered, err := hp.MilkOnce()
 	if err != nil && errors.Is(err, collusion.ErrNotMember) {
 		span.Event("rejoin")

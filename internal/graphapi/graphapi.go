@@ -204,6 +204,7 @@ type API struct {
 	reqCount       *obs.CounterVec   // graphapi_requests_total{op,code}
 	reqLatency     *obs.HistogramVec // graphapi_request_seconds{op}
 	defenseActions *obs.CounterVec   // defense_actions_total{countermeasure,action}
+	allocs         *obs.AllocMeter   // allocs_per_op{op} windows on the hot paths
 	opInst         [numOps]opInstruments
 }
 
@@ -275,6 +276,7 @@ func (a *API) SetObserver(o *obs.Observer) {
 	a.defenseActions = o.M().Counter("defense_actions_total",
 		"Defense actions taken, by countermeasure and action.",
 		"countermeasure", "action")
+	a.allocs = o.A()
 	for op, name := range opNames {
 		a.opInst[op] = opInstruments{
 			ok:      a.reqCount.With(name, "0"),
@@ -327,7 +329,9 @@ func (a *API) finish(span *obs.Span, op int, start time.Time, err error) {
 // path a second ~130-byte Request copy; evaluate does not mutate it.
 func (a *API) evaluate(ctx context.Context, req *Request) Decision {
 	_, span := a.obs.T().StartSpanAt(ctx, "defense.chain", req.At)
+	as := a.allocs.Begin(ctx, "defense.chain")
 	d := a.chain.Evaluate(*req)
+	as.End(1)
 	if !d.Allow {
 		span.SetAttr("policy", d.Policy)
 		span.Event("deny", "reason", d.Reason)
@@ -344,7 +348,9 @@ func (a *API) applyShard(ctx context.Context, at time.Time, objectID string, wri
 	if span != nil {
 		span.SetAttr("shard", strconv.Itoa(a.graph.ShardIndexOf(objectID)))
 	}
+	as := a.allocs.Begin(ctx, "shard.apply")
 	err := write()
+	as.End(1)
 	span.EndAt(at)
 	return err
 }

@@ -98,6 +98,7 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 		span.SetAttr("ops", strconv.Itoa(len(ops)))
 	}
 	unsampled := obs.UnsampledContext(ctx)
+	as := a.allocs.Begin(ctx, "graphapi.like_batch")
 
 	// Phase 1: authenticate and policy-check every op in order. Ops that
 	// clear the chain queue for the store apply; the rest already carry
@@ -136,13 +137,16 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 			aspan.SetAttr("shard", strconv.Itoa(a.graph.ShardIndexOf(objectID)))
 			aspan.SetAttr("ops", strconv.Itoa(len(apply)))
 		}
+		bs := a.allocs.Begin(ctx, "shard.apply")
 		writeErrs := a.graph.AddLikeBatch(apply)
+		bs.End(len(apply))
 		aspan.EndAt(start)
 		for j, we := range writeErrs {
 			errs[applyIdx[j]] = likeWriteError(we, objectID)
 		}
 	}
 
+	as.End(len(ops))
 	end := a.clock.Now()
 	if span != nil {
 		span.SetAttr("code", "0")

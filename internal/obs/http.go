@@ -89,11 +89,13 @@ func (o *Observer) MetricsHandler() http.Handler {
 	})
 }
 
-// TracesHandler serves the retained spans as JSONL, oldest first.
+// TracesHandler serves the retained spans as JSONL, oldest first. A
+// ?trace=<id> query restricts the dump to one trace tree — with a 4096
+// span ring, pulling a single request out of the full dump got unwieldy.
 func (o *Observer) TracesHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
-		_ = o.T().WriteJSONL(w)
+		_ = o.T().WriteJSONLTrace(w, r.URL.Query().Get("trace"))
 	})
 }
 

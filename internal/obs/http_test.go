@@ -159,3 +159,70 @@ func TestNilObserver(t *testing.T) {
 		t.Error("nil observer Middleware returned nil handler")
 	}
 }
+
+// TestTracesHandlerFilter: ?trace=<id> on /debug/traces pulls a single
+// request tree out of a ring holding spans from many traces.
+func TestTracesHandlerFilter(t *testing.T) {
+	o := New(simclock.NewSimulated(traceEpoch))
+	ctx, root := o.T().StartSpan(nil, "root")
+	_, child := o.T().StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	_, other := o.T().StartSpan(nil, "other")
+	other.End()
+
+	mux := http.NewServeMux()
+	o.RegisterDebug(mux)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace="+root.TraceID, nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `"name":"root"`) || !strings.Contains(body, `"name":"child"`) {
+		t.Errorf("filtered export missing the requested trace:\n%s", body)
+	}
+	if strings.Contains(body, `"name":"other"`) {
+		t.Errorf("filtered export leaked a foreign trace:\n%s", body)
+	}
+	if lines := strings.Count(strings.TrimRight(body, "\n"), "\n") + 1; lines != 2 {
+		t.Errorf("want 2 JSONL lines, got %d:\n%s", lines, body)
+	}
+
+	// No filter: everything comes back.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `"name":"other"`) {
+		t.Errorf("unfiltered export missing spans:\n%s", body)
+	}
+
+	// Unknown ID: empty body, not an error.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace=nosuch", nil))
+	if rec.Body.Len() != 0 {
+		t.Errorf("unknown trace ID returned %q, want empty", rec.Body.String())
+	}
+}
+
+// TestTracesDroppedCollector: once the span ring evicts, the loss is
+// visible on /metrics so an operator knows the JSONL export is partial.
+func TestTracesDroppedCollector(t *testing.T) {
+	o := New(simclock.NewSimulated(traceEpoch))
+
+	scrape := func() string {
+		var b strings.Builder
+		if err := o.M().WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if !strings.Contains(scrape(), "traces_dropped_total 0") {
+		t.Fatalf("fresh observer scrape missing zero dropped counter:\n%s", scrape())
+	}
+
+	for i := 0; i < DefaultTraceCapacity+3; i++ {
+		_, s := o.T().StartSpan(nil, "fill")
+		s.End()
+	}
+	if !strings.Contains(scrape(), "traces_dropped_total 3") {
+		t.Errorf("scrape after eviction missing traces_dropped_total 3:\n%s", scrape())
+	}
+}

@@ -32,21 +32,30 @@ import (
 	"repro/internal/simclock"
 )
 
-// Observer bundles the two pillars a subsystem needs: a Tracer for spans
-// and a Registry for metrics. Subsystems receive one via SetObserver-style
-// wiring from the composition root (internal/platform).
+// Observer bundles the pillars a subsystem needs: a Tracer for spans, a
+// Registry for metrics, and an AllocMeter for per-hot-path allocation
+// accounting. Subsystems receive one via SetObserver-style wiring from the
+// composition root (internal/platform).
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Allocs  *AllocMeter
 }
 
 // New returns an Observer whose tracer reads the given clock and keeps the
 // default number of finished spans.
 func New(clock simclock.Clock) *Observer {
-	return &Observer{
+	o := &Observer{
 		Tracer:  NewTracer(clock, DefaultTraceCapacity),
 		Metrics: NewRegistry(),
 	}
+	o.Allocs = NewAllocMeter(o.Metrics)
+	o.Metrics.Collector("traces_dropped_total",
+		"Finished spans evicted from the trace ring before export.",
+		KindCounter, nil, func() []Sample {
+			return []Sample{{Value: float64(o.Tracer.Dropped())}}
+		})
+	return o
 }
 
 // T returns the observer's tracer; nil observers have a nil tracer, which
@@ -65,4 +74,13 @@ func (o *Observer) M() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// A returns the observer's allocation meter; nil observers have a nil
+// meter, which measures nothing at zero cost.
+func (o *Observer) A() *AllocMeter {
+	if o == nil {
+		return nil
+	}
+	return o.Allocs
 }

@@ -1,0 +1,183 @@
+package runtimestats
+
+import (
+	"math"
+	"runtime/metrics"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simclock"
+)
+
+// TestFamiliesDeterministic scrapes a freshly-registered registry and
+// asserts every runtime family is present with the right TYPE — the
+// family set and kinds are part of the /metrics contract the dashboards
+// and the scale report build on, even though the values are live.
+func TestFamiliesDeterministic(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := Register(reg, simclock.Real{})
+	s.Sample() // populate the sampler-fed gauges
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	want := []struct{ family, kind string }{
+		{"runtime_goroutines", "gauge"},
+		{"runtime_heap_alloc_bytes", "gauge"},
+		{"runtime_heap_objects", "gauge"},
+		{"runtime_sys_bytes", "gauge"},
+		{"runtime_gc_cycles_total", "counter"},
+		{"runtime_mallocs_total", "counter"},
+		{"runtime_alloc_bytes_total", "counter"},
+		{"runtime_mutex_wait_seconds_total", "counter"},
+		{"runtime_sched_latency_seconds", "gauge"},
+		{"runtime_gc_pause_seconds", "histogram"},
+		{"runtime_alloc_bytes_per_second", "gauge"},
+		{"runtime_last_gc_pause_seconds", "gauge"},
+	}
+	for _, w := range want {
+		typeLine := "# TYPE " + w.family + " " + w.kind
+		if !strings.Contains(out, typeLine) {
+			t.Errorf("scrape missing %q", typeLine)
+		}
+	}
+	// The quantile-labelled family must carry both series.
+	for _, series := range []string{
+		`runtime_sched_latency_seconds{quantile="0.5"}`,
+		`runtime_sched_latency_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("scrape missing series %q", series)
+		}
+	}
+}
+
+// TestSampleValuesSane exercises one snapshot: a live process must have
+// goroutines, a nonzero heap, and cumulative allocations, and a second
+// sample after allocating must report a positive alloc rate.
+func TestSampleValuesSane(t *testing.T) {
+	clock := simclock.NewSimulated(time.Unix(0, 0))
+	s := Register(obs.NewRegistry(), clock)
+
+	snap := s.Sample()
+	if snap.Goroutines < 1 {
+		t.Errorf("Goroutines = %d, want >= 1", snap.Goroutines)
+	}
+	if snap.HeapAllocBytes == 0 || snap.TotalAllocBytes == 0 || snap.Mallocs == 0 {
+		t.Errorf("zero heap stats: %+v", snap)
+	}
+	if snap.AllocBytesPerSec != 0 {
+		t.Errorf("first sample AllocBytesPerSec = %v, want 0 (no window yet)", snap.AllocBytesPerSec)
+	}
+
+	sink := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	clock.Advance(time.Second)
+	snap2 := s.Sample()
+	if snap2.AllocBytesPerSec <= 0 {
+		t.Errorf("AllocBytesPerSec = %v after allocating ~1MiB over 1s, want > 0", snap2.AllocBytesPerSec)
+	}
+	if snap2.Mallocs < snap.Mallocs {
+		t.Errorf("Mallocs went backwards: %d -> %d", snap.Mallocs, snap2.Mallocs)
+	}
+	if !snap2.At.After(snap.At) {
+		t.Errorf("At not advancing: %v -> %v", snap.At, snap2.At)
+	}
+}
+
+// TestStartStopRace hammers Start/Stop/Sample/scrape concurrently; the
+// race detector is the assertion. Start/Stop idempotency is checked on
+// the side.
+func TestStartStopRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := Register(reg, simclock.Real{})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				s.Start(time.Millisecond)
+				s.Sample()
+				s.Stop()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				var sb strings.Builder
+				_ = reg.WriteText(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop() // stopping a stopped sampler is a no-op
+}
+
+// TestStartSamplesInBackground proves the background goroutine actually
+// samples: under a real clock with a tiny interval the alloc-rate gauge
+// becomes populated without any manual Sample call.
+func TestStartSamplesInBackground(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := Register(reg, simclock.Real{})
+	s.Start(time.Millisecond)
+	defer s.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		sampled := !s.prevAt.IsZero()
+		s.mu.Unlock()
+		if sampled {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("background sampler never ran within 2s")
+}
+
+// TestNilSampler: the nil no-op contract.
+func TestNilSampler(t *testing.T) {
+	var s *Sampler
+	if snap := s.Sample(); snap != (Snapshot{}) {
+		t.Errorf("nil Sample() = %+v, want zero", snap)
+	}
+	s.Start(time.Second) // must not panic
+	s.Stop()
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{90, 9, 1},
+		Buckets: []float64{0, 1e-6, 1e-3, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.5); got != 1e-6 {
+		t.Errorf("p50 = %v, want 1e-6", got)
+	}
+	if got := histQuantile(h, 0.95); got != 1e-3 {
+		t.Errorf("p95 = %v, want 1e-3", got)
+	}
+	// p100 lands in the overflow bucket, whose lower bound is reported.
+	if got := histQuantile(h, 1.0); got != 1e-3 {
+		t.Errorf("p100 = %v, want 1e-3 (overflow lower bound)", got)
+	}
+	if got := histQuantile(nil, 0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	if got := histQuantile(&metrics.Float64Histogram{}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

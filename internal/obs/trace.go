@@ -127,6 +127,18 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// Sampled reports whether ctx is outside an UnsampledContext subtree — the
+// gate shared by span creation and the AllocMeter, so per-burst sampling
+// decisions made once in a delivery loop govern every measurement kind. A
+// nil context counts as sampled, matching StartSpan.
+func Sampled(ctx context.Context) bool {
+	if ctx == nil {
+		return true
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s != unsampled
+}
+
 // seqID renders a sequence number as prefix + 8 lowercase hex digits.
 // Hand-rolled because fmt.Sprintf is measurable on the per-like hot path.
 func seqID(prefix byte, n uint64) string {
@@ -331,11 +343,21 @@ func (t *Tracer) Spans() []SpanData {
 // oldest first — the format /debug/traces serves and the timeline
 // reconstruction tooling consumes.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return t.WriteJSONLTrace(w, "")
+}
+
+// WriteJSONLTrace is WriteJSONL restricted to spans of one trace ID; an
+// empty ID exports everything. Backs the ?trace=<id> filter on
+// /debug/traces so a single request tree can be pulled out of a full ring.
+func (t *Tracer) WriteJSONLTrace(w io.Writer, traceID string) error {
 	if t == nil {
 		return nil
 	}
 	enc := json.NewEncoder(w)
 	for _, d := range t.Spans() {
+		if traceID != "" && d.Trace != traceID {
+			continue
+		}
 		if err := enc.Encode(d); err != nil {
 			return err
 		}

@@ -66,6 +66,73 @@ func URLString(raw string) string {
 	return URL(u)
 }
 
+// String scrubs credential-bearing key=value (or "key: value") pairs
+// embedded anywhere in free text, masking each value with Token. It is
+// the last line of defense for log lines assembled from arbitrary parts
+// (the obs.Logger routes every string argument through here); text with
+// no recognizable credential shape passes through unchanged.
+func String(s string) string {
+	lower := strings.ToLower(s)
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		key, rest, ok := matchSensitiveKey(lower[i:])
+		if !ok || (i > 0 && isWordByte(s[i-1])) {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		// Copy the key and separator, then mask the value run.
+		b.WriteString(s[i : i+key])
+		j := i + key
+		j += rest // "=" or ": " style separator length
+		b.WriteString(s[i+key : j])
+		end := j
+		for end < len(s) && !isValueEnd(s[end]) {
+			end++
+		}
+		if end > j {
+			b.WriteString(Token(s[j:end]))
+		}
+		i = end
+	}
+	return b.String()
+}
+
+// matchSensitiveKey reports whether text starts with a sensitive key
+// followed by a '=' or ':' separator, returning the key length and the
+// separator length.
+func matchSensitiveKey(text string) (keyLen, sepLen int, ok bool) {
+	for k := range sensitiveKeys {
+		if !strings.HasPrefix(text, k) {
+			continue
+		}
+		rest := text[len(k):]
+		switch {
+		case strings.HasPrefix(rest, "="):
+			return len(k), 1, true
+		case strings.HasPrefix(rest, ": "):
+			return len(k), 2, true
+		case strings.HasPrefix(rest, ":") && len(rest) > 1 && rest[1] != '/':
+			// "token:abc" but not "token://host" URL schemes.
+			return len(k), 1, true
+		}
+	}
+	return 0, 0, false
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isValueEnd(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '&', '"', '\'', ',', ';', ')', ']', '}':
+		return true
+	}
+	return false
+}
+
 func redactQuery(raw string) string {
 	if raw == "" {
 		return ""

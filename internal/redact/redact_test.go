@@ -76,3 +76,47 @@ func TestURLString(t *testing.T) {
 		t.Fatalf("URL(nil) = %q", URL(nil))
 	}
 }
+
+func TestStringScrubsKeyValuePairs(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// query-style pairs anywhere in free text
+		{"joined with access_token=EAACEdEose0cBA1234", "joined with access_token=EAACEd***"},
+		{"pair token=EAACEdEose0cBA&expires=0 done", "pair token=EAACEd***&expires=0 done"},
+		// colon-separated forms (error strings, JSON-ish dumps)
+		{"auth: client_secret: EAACEdsecretsecret", "auth: client_secret: EAACEd***"},
+		{"got code:EAACEdauthcode here", "got code:EAACEd*** here"},
+		// short values still masked wholesale
+		{"token=abc", "token=***"},
+		// word-boundary: keys inside identifiers are untouched
+		{"use mytoken=notasecret", "use mytoken=notasecret"},
+		{"tokenizer=lexical", "tokenizer=lexical"},
+		// URL schemes after a colon are not values
+		{"see token://host/path", "see token://host/path"},
+		// credential-free text passes through byte-for-byte
+		{"delivered 464 likes in 1.7ms", "delivered 464 likes in 1.7ms"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := String(c.in); got != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStringIdempotent(t *testing.T) {
+	in := "retry with access_token=EAACEdEose0cBA1234 now"
+	once := String(in)
+	if twice := String(once); twice != once {
+		t.Errorf("String not idempotent: %q -> %q", once, twice)
+	}
+}
+
+func TestStringCaseInsensitive(t *testing.T) {
+	got := String("Access_Token=EAACEdEose0cBA1234")
+	if strings.Contains(got, "1234") {
+		t.Fatalf("mixed-case key leaked: %q", got)
+	}
+	if !strings.HasPrefix(got, "Access_Token=") {
+		t.Errorf("original casing not preserved: %q", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/runtimestats"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
 )
@@ -60,6 +61,20 @@ type LoadConfig struct {
 	QueueDepth int
 	// Seed drives the operation mix; 0 selects the world's seed.
 	Seed int64
+	// Warmup is the leading stretch of simulated time excluded from the
+	// steady-state window. OnSteadyState fires once, just before the
+	// first arrival at or past start+Warmup is enqueued (immediately on
+	// the first arrival when Warmup is 0) — `repro scale -profile-dir`
+	// starts its CPU profile here so warmup allocation noise stays out
+	// of the capture.
+	Warmup        time.Duration
+	OnSteadyState func()
+	// OnLoadEnd fires after the worker pool has drained, closing the
+	// steady-state window (profiles are stopped and written here).
+	OnLoadEnd func()
+	// Runtime, when set, is sampled after every retention sweep and at
+	// the end of the run, attaching runtime/GC snapshots to the report.
+	Runtime *runtimestats.Sampler
 }
 
 func (c LoadConfig) withDefaults(w *ScaleWorld) LoadConfig {
@@ -90,6 +105,9 @@ type RetentionSample struct {
 	At       time.Time
 	Evicted  socialgraph.SweepResult
 	Retained socialgraph.EdgeStats
+	// Runtime is the runtime snapshot taken right after the sweep (zero
+	// unless LoadConfig.Runtime was set).
+	Runtime runtimestats.Snapshot
 }
 
 // LoadReport summarises one RunLoad.
@@ -111,6 +129,9 @@ type LoadReport struct {
 	// WallElapsed is the run's span on the Timing clock (zero in
 	// deterministic mode).
 	WallElapsed time.Duration
+	// RuntimeEnd is the runtime snapshot after the pool drained (zero
+	// unless LoadConfig.Runtime was set).
+	RuntimeEnd runtimestats.Snapshot
 }
 
 // AchievedRPS is the applied like+comment+post throughput per Timing
@@ -206,6 +227,8 @@ func (w *ScaleWorld) RunLoad(cfg LoadConfig) LoadReport {
 	targets := rand.NewZipf(rng, w.Config.ZipfS, 1, uint64(len(w.Posts)-1))
 	start := w.Config.Start
 	wallStart := cfg.Timing.Now()
+	steadyAt := start.Add(cfg.Warmup)
+	steady := false
 	nextSweep := start.Add(cfg.SweepEvery)
 	drain := func() {
 		for pending.Load() != 0 {
@@ -226,10 +249,17 @@ func (w *ScaleWorld) RunLoad(cfg LoadConfig) LoadReport {
 			rep.Evicted.Activities += res.Activities
 			rep.Samples = append(rep.Samples, RetentionSample{
 				At: nextSweep, Evicted: res, Retained: w.Graph.RetainedEdges(),
+				Runtime: cfg.Runtime.Sample(),
 			})
 			nextSweep = nextSweep.Add(cfg.SweepEvery)
 		}
 		w.Clock.AdvanceTo(at)
+		if !steady && !at.Before(steadyAt) {
+			steady = true
+			if cfg.OnSteadyState != nil {
+				cfg.OnSteadyState()
+			}
+		}
 		j := job{kind: opLike, at: at, actor: rng.Intn(w.Config.Accounts)}
 		switch roll := rng.Intn(1000); {
 		case roll < cfg.CommentPermille:
@@ -246,6 +276,10 @@ func (w *ScaleWorld) RunLoad(cfg LoadConfig) LoadReport {
 	}
 	close(jobs)
 	wg.Wait()
+	if cfg.OnLoadEnd != nil {
+		cfg.OnLoadEnd()
+	}
+	rep.RuntimeEnd = cfg.Runtime.Sample()
 
 	rep.Likes = likes.Load()
 	rep.DuplicateLikes = dups.Load()
