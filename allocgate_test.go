@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/provider"
+	"repro/internal/simclock"
 	"repro/internal/socialgraph"
 )
 
@@ -69,5 +73,64 @@ func TestAllocGateTokenValidate(t *testing.T) {
 	// Measured at HEAD: 1 alloc per Validate (the TokenInfo copy). Gate at 4.
 	if limit := float64(4); allocs > limit {
 		t.Errorf("OAuth.Validate = %.0f allocs/run, gate %v", allocs, limit)
+	}
+}
+
+// TestAllocGateProviderCheckToken pins every registered provider's token
+// format check at zero allocations. CheckToken fronts each validation and
+// runs on attacker-supplied strings (the scanner feeds it candidate
+// tokens), so even the signed pictogram format must verify its checksum
+// without heap traffic.
+func TestAllocGateProviderCheckToken(t *testing.T) {
+	for _, name := range provider.Names() {
+		prov := provider.MustGet(name)
+		tok := prov.MintToken()
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := prov.CheckToken(tok); err != nil {
+				t.Fatalf("%s: freshly minted token fails CheckToken: %v", name, err)
+			}
+		})
+		t.Logf("%s CheckToken: %.0f allocs/run", name, allocs)
+		if allocs > 0 {
+			t.Errorf("%s CheckToken = %.0f allocs/run, gate 0", name, allocs)
+		}
+	}
+}
+
+// TestAllocGateProviderRoutedValidate repeats the warm-token validation
+// gate through the provider-routed construction path (platform.NewFor
+// with the non-default provider, token minted via the code flow). The
+// provider indirection must not add per-call allocations over the
+// default platform's budget.
+func TestAllocGateProviderRoutedValidate(t *testing.T) {
+	prov := provider.MustGet("pictogram")
+	clock := simclock.NewSimulated(benchEpoch)
+	p := platform.NewFor(prov, clock, nil)
+	app := p.Apps.RegisterUnreviewed(apps.Config{
+		Name:        "gate companion",
+		RedirectURI: "https://gate-companion.example/cb",
+		Lifetime:    apps.LongTerm,
+		Permissions: []string{prov.ScopePublish()},
+	})
+	acct := p.Graph.CreateAccount("gate-member", "IN", clock.Now())
+	client := platform.NewLocalClient(p)
+	code, err := client.AuthorizeCode(app.ID, app.RedirectURI, acct.ID, []string{prov.ScopePublish()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := client.ExchangeCode(app.ID, app.Secret, app.RedirectURI, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.OAuth.Validate(tok); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("pictogram OAuth.Validate: %.0f allocs/run", allocs)
+	// Same budget as the default provider: the TokenInfo copy plus slack.
+	if limit := float64(4); allocs > limit {
+		t.Errorf("pictogram OAuth.Validate = %.0f allocs/run, gate %v", allocs, limit)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs/runtimestats"
 	"repro/internal/platform"
+	"repro/internal/provider"
 	"repro/internal/redact"
 	"repro/internal/simclock"
 )
@@ -31,13 +33,24 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8400", "listen address")
 	members := flag.Int("members", 50, "demo member accounts to create")
 	printSecret := flag.Bool("print-secret", false, "print the secure app's full secret (needed to drive the code flow by hand)")
+	providers := flag.String("providers", strings.Join(provider.Names(), ","),
+		"comma-separated providers to serve; the default provider mounts at /, every provider also at /<name>/")
 	flag.Parse()
 
 	internet := netsim.NewInternet()
 	must(internet.RegisterAS(netsim.AS{Number: 64500, Name: "BP-HOSTING-A", Country: "RU", Bulletproof: true}, "203.0.0.0/16"))
 	must(internet.RegisterAS(netsim.AS{Number: 65000, Name: "GENERIC-HOSTING", Country: "US"}, "192.168.0.0/16"))
 
-	p := platform.New(simclock.NewReal(), internet)
+	var provs []provider.Provider
+	for _, name := range strings.Split(*providers, ",") {
+		prov, ok := provider.Get(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("platformd: unknown provider %q (known: %s)", name, strings.Join(provider.Names(), ", "))
+		}
+		provs = append(provs, prov)
+	}
+	m := platform.NewMulti(simclock.NewReal(), internet, provs...)
+	p := m.Default()
 
 	// Runtime/GC families on /metrics, sampled in the background so the
 	// GC-pause histogram and alloc-rate gauge stay fresh between scrapes.
@@ -66,7 +79,7 @@ func main() {
 		DAU:               500_000,
 	})
 
-	fmt.Printf("platformd listening on http://%s\n", *addr)
+	fmt.Printf("platformd listening on http://%s (providers: %s)\n", *addr, strings.Join(m.Names(), ", "))
 	fmt.Printf("susceptible app: id=%s redirect=%s\n", susceptible.ID, susceptible.RedirectURI)
 	fmt.Printf("secure app:      id=%s redirect=%s (secret=%s; pass -print-secret for the full value)\n",
 		secure.ID, secure.RedirectURI, redact.Token(secure.Secret))
@@ -83,16 +96,53 @@ func main() {
 	fmt.Printf("(and %d more member accounts)\n", *members-3)
 	fmt.Println("dialog: GET /dialog/oauth?client_id=&redirect_uri=&response_type=token&scope=publish_actions&account_id=")
 
-	serve(*addr, buildHandler(p))
+	// Every non-default platform gets its own demo world: a companion-style
+	// app (code-flow only where the provider demands it) and member
+	// accounts, reachable under /<provider>/.
+	for _, name := range m.Names() {
+		sp := m.Get(name)
+		if sp == p {
+			continue
+		}
+		prov := sp.Provider
+		app := sp.Apps.RegisterUnreviewed(apps.Config{
+			Name:        "Demo Companion",
+			RedirectURI: "https://demo-companion.example/callback",
+			Lifetime:    apps.LongTerm,
+			Permissions: []string{prov.ScopePublish(), prov.ScopeFriends()},
+		})
+		fmt.Printf("%s app: id=%s redirect=%s (secret=%s; mounts at /%s/)\n",
+			name, app.ID, app.RedirectURI, redact.Token(app.Secret), name)
+		for i := 0; i < *members; i++ {
+			sp.Graph.CreateAccount(fmt.Sprintf("%s-member-%d", name, i+1), "IN", time.Now())
+		}
+	}
+
+	serve(*addr, buildMultiHandler(m))
 }
 
-// buildHandler mounts the Graph API (wrapped in request telemetry) at /
-// alongside the observability surfaces: /metrics (Prometheus text
-// exposition), /debug/traces (JSONL span export), and net/http/pprof.
+// buildHandler mounts one platform's Graph API (wrapped in request
+// telemetry) at / alongside its observability surfaces: /metrics
+// (Prometheus text exposition), /debug/traces (JSONL span export), and
+// net/http/pprof.
 func buildHandler(p *platform.Platform) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", p.Handler())
 	p.Obs.RegisterDebug(mux)
+	return mux
+}
+
+// buildMultiHandler mounts every registered platform: the default
+// provider keeps the historical root mount, and each provider (default
+// included) is also served — API plus its own /metrics, /debug/traces,
+// and pprof — under /<provider>/.
+func buildMultiHandler(m *platform.Multi) http.Handler {
+	mux := http.NewServeMux()
+	for _, name := range m.Names() {
+		sp := m.Get(name)
+		mux.Handle("/"+name+"/", http.StripPrefix("/"+name, buildHandler(sp)))
+	}
+	mux.Handle("/", buildHandler(m.Default()))
 	return mux
 }
 

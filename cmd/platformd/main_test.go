@@ -9,8 +9,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/obs/runtimestats"
+	"repro/internal/platform"
+	"repro/internal/provider"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -67,8 +71,8 @@ func TestObservabilityScrape(t *testing.T) {
 
 	_, metricsBody := get("/metrics")
 	for _, want := range []string{
-		`graphapi_requests_total{op="like",code="0"}`,
-		`graphapi_request_seconds_bucket{op="like",le="+Inf"}`,
+		`graphapi_requests_total{platform="facebook",op="like",code="0"}`,
+		`graphapi_request_seconds_bucket{platform="facebook",op="like",le="+Inf"}`,
 		`graphapi_http_requests_total{endpoint="/me",status=`,
 		`collusion_likes_delivered_total{network="mg-likers.com"}`,
 		`oauth_tokens_issued_total`,
@@ -79,10 +83,10 @@ func TestObservabilityScrape(t *testing.T) {
 		`runtime_heap_alloc_bytes`,
 		`runtime_gc_pause_seconds_bucket`,
 		`runtime_sched_latency_seconds{quantile="0.99"}`,
-		`allocs_per_op{op="graphapi.like_batch"}`,
-		`allocs_per_op{op="defense.chain"}`,
-		`allocs_per_op{op="shard.apply"}`,
-		`allocs_per_op{op="milk.round"}`,
+		`allocs_per_op{platform="facebook",op="graphapi.like_batch"}`,
+		`allocs_per_op{platform="facebook",op="defense.chain"}`,
+		`allocs_per_op{platform="facebook",op="shard.apply"}`,
+		`allocs_per_op{platform="facebook",op="milk.round"}`,
 		`traces_dropped_total`,
 	} {
 		if !strings.Contains(metricsBody, want) {
@@ -102,5 +106,62 @@ func TestObservabilityScrape(t *testing.T) {
 
 	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+}
+
+// TestMultiProviderMounts stands up the multi-provider handler and drives
+// the non-default provider through its prefix: the code-flow dialog, the
+// token exchange, a like, and the per-platform metrics surface.
+func TestMultiProviderMounts(t *testing.T) {
+	internet := netsim.NewInternet()
+	if err := internet.RegisterAS(netsim.AS{Number: 65000, Name: "GENERIC-HOSTING", Country: "US"}, "192.168.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	m := platform.NewMulti(simclock.NewReal(), internet, provider.MustGet("facebook"), provider.MustGet("pictogram"))
+	srv := httptest.NewServer(buildMultiHandler(m))
+	defer srv.Close()
+
+	pg := m.Get("pictogram")
+	app := pg.Apps.RegisterUnreviewed(apps.Config{
+		Name:        "Demo Companion",
+		RedirectURI: "https://demo-companion.example/callback",
+		Lifetime:    apps.LongTerm,
+		Permissions: []string{pg.Provider.ScopePublish()},
+	})
+	acct := pg.Graph.CreateAccount("pg-demo", "IN", time.Now())
+
+	client := platform.NewHTTPClientFor(provider.MustGet("pictogram"), srv.URL+"/pictogram")
+	code, err := client.AuthorizeCode(app.ID, app.RedirectURI, acct.ID, []string{pg.Provider.ScopePublish()})
+	if err != nil {
+		t.Fatalf("AuthorizeCode: %v", err)
+	}
+	tok, err := client.ExchangeCode(app.ID, app.Secret, app.RedirectURI, code)
+	if err != nil {
+		t.Fatalf("ExchangeCode: %v", err)
+	}
+	if !strings.HasPrefix(tok, "PTGR.") {
+		t.Fatalf("pictogram token %q lacks provider format", tok)
+	}
+	post, err := client.Publish(tok, "hello from B", "192.168.0.9")
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if err := client.Like(tok, post, "192.168.0.9"); err != nil {
+		t.Fatalf("Like: %v", err)
+	}
+
+	// The implicit flow must be refused: pictogram is code-flow only.
+	if _, err := client.AuthorizeImplicit(app.ID, app.RedirectURI, acct.ID, []string{pg.Provider.ScopePublish()}); err == nil {
+		t.Fatal("implicit flow succeeded on a code-flow-only provider")
+	}
+
+	resp, err := http.Get(srv.URL + "/pictogram/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := `graphapi_requests_total{platform="pictogram",op="like",code="0"}`; !strings.Contains(string(body), want) {
+		t.Errorf("/pictogram/metrics missing %q", want)
 	}
 }

@@ -56,8 +56,9 @@ func (n *Network) RunAutoDelivery() int {
 			ctx, span := n.obs.T().StartSpan(nil, "collusion.autodeliver")
 			span.SetAttr("network", n.cfg.Name)
 			span.SetAttr("subscriber", s.accountID)
-			n.deliver(ctx, quota, s.accountID, false, p.ID, func(ctx context.Context, t Sampled, ip string) error {
-				return n.like(ctx, t.Token, p.ID, ip)
+			tgt := n.primary()
+			n.deliver(ctx, tgt, quota, s.accountID, false, p.ID, func(ctx context.Context, smp Sampled, ip string) error {
+				return n.like(ctx, tgt, smp.Token, p.ID, ip)
 			})
 			span.End()
 			served++

@@ -9,9 +9,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/graphapi"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/provider"
 	"repro/internal/simclock"
 )
 
@@ -32,6 +32,9 @@ var (
 )
 
 // Stats aggregates the engine's activity for the measurement harness.
+// The Cross* fields count activity against linked companion platforms
+// (see LinkPlatform); everything else is primary-platform activity, so
+// single-platform runs are byte-identical with or without the fields.
 type Stats struct {
 	Visits            int64
 	AdImpressions     int64
@@ -45,6 +48,27 @@ type Stats struct {
 	RevenueUSD        float64
 	FailuresByCode    map[int]int64
 	Adapted           bool
+
+	CrossTokensCollected int64
+	CrossTokensDropped   int64
+	CrossLikeRequests    int64
+	CrossLikesAttempted  int64
+	CrossLikesDelivered  int64
+}
+
+// target identifies the platform surface one delivery burst fires at: the
+// transport views, the token pool sampled, and whether the burst counts
+// as cross-platform activity. The primary platform and every linked
+// companion platform are both expressed as targets, so the delivery
+// engine — sampling, attempt budget, batching, outcome bookkeeping — is
+// written once and runs identically against either.
+type target struct {
+	name        string // platform name; "" for the primary platform
+	client      platform.Client
+	ctxClient   platform.ContextClient
+	batchClient platform.BatchClient
+	pool        *TokenPool
+	cross       bool
 }
 
 // Network is one collusion network instance: token pool plus delivery
@@ -94,6 +118,19 @@ type Network struct {
 	// adWallPass holds one-request allowances earned by completing the
 	// ad redirect chain.
 	adWallPass map[string]bool
+	// cross holds the linked companion platforms, keyed by platform name
+	// (see LinkPlatform in cross.go).
+	cross map[string]*crossBinding
+}
+
+// primary returns the target for the network's home platform.
+func (n *Network) primary() target {
+	return target{
+		client:      n.client,
+		ctxClient:   n.ctxClient,
+		batchClient: n.batchClient,
+		pool:        n.pool,
+	}
 }
 
 type captchaChallenge struct {
@@ -369,28 +406,29 @@ func (n *Network) RequestLikes(accountID, postID, captchaAnswer string) (int, er
 	n.stats.LikeRequests++
 	n.mu.Unlock()
 	quota := n.likesFor(accountID)
-	delivered := n.deliver(nil, quota, accountID, false, postID, func(ctx context.Context, s Sampled, ip string) error {
-		return n.like(ctx, s.Token, postID, ip)
+	t := n.primary()
+	delivered := n.deliver(nil, t, quota, accountID, false, postID, func(ctx context.Context, s Sampled, ip string) error {
+		return n.like(ctx, t, s.Token, postID, ip)
 	})
 	return delivered, nil
 }
 
-// like fires one like through the transport, propagating the delivery
-// burst's trace when the transport supports it.
-func (n *Network) like(ctx context.Context, token, objectID, ip string) error {
-	if n.ctxClient != nil {
-		return n.ctxClient.LikeCtx(ctx, token, objectID, ip)
+// like fires one like through the target's transport, propagating the
+// delivery burst's trace when the transport supports it.
+func (n *Network) like(ctx context.Context, t target, token, objectID, ip string) error {
+	if t.ctxClient != nil {
+		return t.ctxClient.LikeCtx(ctx, token, objectID, ip)
 	}
-	return n.client.Like(token, objectID, ip)
+	return t.client.Like(token, objectID, ip)
 }
 
-// comment fires one comment through the transport, propagating the trace
-// when possible.
-func (n *Network) comment(ctx context.Context, token, postID, message, ip string) (string, error) {
-	if n.ctxClient != nil {
-		return n.ctxClient.CommentCtx(ctx, token, postID, message, ip)
+// comment fires one comment through the target's transport, propagating
+// the trace when possible.
+func (n *Network) comment(ctx context.Context, t target, token, postID, message, ip string) (string, error) {
+	if t.ctxClient != nil {
+		return t.ctxClient.CommentCtx(ctx, token, postID, message, ip)
 	}
-	return n.client.Comment(token, postID, message, ip)
+	return t.client.Comment(token, postID, message, ip)
 }
 
 // RequestComments asks for auto-comments on a post. Comments are drawn
@@ -405,11 +443,12 @@ func (n *Network) RequestComments(accountID, postID, captchaAnswer string) (int,
 	n.mu.Lock()
 	n.stats.CommentRequests++
 	n.mu.Unlock()
-	delivered := n.deliver(nil, n.cfg.CommentsPerRequest, accountID, true, "", func(ctx context.Context, s Sampled, ip string) error {
+	t := n.primary()
+	delivered := n.deliver(nil, t, n.cfg.CommentsPerRequest, accountID, true, "", func(ctx context.Context, s Sampled, ip string) error {
 		n.mu.Lock()
 		msg := n.cfg.CommentDictionary[n.rng.Intn(len(n.cfg.CommentDictionary))]
 		n.mu.Unlock()
-		_, err := n.comment(ctx, s.Token, postID, msg, ip)
+		_, err := n.comment(ctx, t, s.Token, postID, msg, ip)
 		return err
 	})
 	return delivered, nil
@@ -434,21 +473,22 @@ func (n *Network) RequestCustomComments(accountID, postID, message, captchaAnswe
 	n.mu.Lock()
 	n.stats.CommentRequests++
 	n.mu.Unlock()
-	delivered := n.deliver(nil, count, accountID, true, "", func(ctx context.Context, s Sampled, ip string) error {
-		_, err := n.comment(ctx, s.Token, postID, message, ip)
+	t := n.primary()
+	delivered := n.deliver(nil, t, count, accountID, true, "", func(ctx context.Context, s Sampled, ip string) error {
+		_, err := n.comment(ctx, t, s.Token, postID, message, ip)
 		return err
 	})
 	return delivered, nil
 }
 
-// deliver samples tokens and fires one action per token, handling
-// failures: dead tokens are dropped from the pool, rate limiting is
-// recorded and may trigger sampling adaptation. Failed draws are
-// replaced with fresh samples within a bounded attempt budget (2× the
-// quota), which is what softens the impact of partial token invalidation:
-// the engine burns through dead tokens to keep its per-request quota,
-// shrinking its pool in the process (the gradual-dip-then-recover
-// dynamics of Figure 5).
+// deliver samples tokens from the target's pool and fires one action per
+// token at the target's platform, handling failures: dead tokens are
+// dropped from that pool, rate limiting is recorded and may trigger
+// sampling adaptation. Failed draws are replaced with fresh samples
+// within a bounded attempt budget (2× the quota), which is what softens
+// the impact of partial token invalidation: the engine burns through dead
+// tokens to keep its per-request quota, shrinking its pool in the process
+// (the gradual-dip-then-recover dynamics of Figure 5).
 //
 // likeObject, when non-empty, names the single object every action of the
 // burst likes; if the transport supports batching and the config has not
@@ -456,13 +496,16 @@ func (n *Network) RequestCustomComments(accountID, postID, message, captchaAnswe
 // bounded worker pool instead of one call per action. Sampling, the
 // attempt budget, and all per-action bookkeeping are identical in both
 // modes — batching changes only how the actions travel.
-func (n *Network) deliver(ctx context.Context, quota int, requester string, comment bool, likeObject string, act func(context.Context, Sampled, string) error) int {
+func (n *Network) deliver(ctx context.Context, t target, quota int, requester string, comment bool, likeObject string, act func(context.Context, Sampled, string) error) int {
 	now := n.clock.Now()
 	ctx, span := n.obs.T().StartSpanAt(ctx, "collusion.deliver", now)
 	if span != nil {
 		span.SetAttr("network", n.cfg.Name)
 		span.SetAttr("requester", requester)
 		span.SetAttr("quota", strconv.Itoa(quota))
+		if t.cross {
+			span.SetAttr("platform", t.name)
+		}
 	}
 	n.mu.Lock()
 	hotSet := n.cfg.HotSetSize
@@ -477,7 +520,7 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 	// suppress span creation for the rest: a burst is hundreds of
 	// identical calls, and tracing each one would dominate the round.
 	sampledCtx, restCtx := ctx, obs.UnsampledContext(ctx)
-	batched := !comment && likeObject != "" && n.batchClient != nil && n.cfg.DeliveryBatchSize > 0
+	batched := !comment && likeObject != "" && t.batchClient != nil && n.cfg.DeliveryBatchSize > 0
 	delivered, attempts := 0, 0
 	// A 1.5× attempt budget: the engine replaces some failures but does
 	// not scour the pool indefinitely, so a half-invalidated pool shows a
@@ -490,13 +533,13 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 		// pool has its own lock; same n.mu → pool.mu order as the ban
 		// path above).
 		n.mu.Lock()
-		sampled := n.pool.Sample(n.rng, quota-delivered, exclude, n.cfg.MaxPerTokenHourly, hotSet, now)
+		sampled := t.pool.Sample(n.rng, quota-delivered, exclude, n.cfg.MaxPerTokenHourly, hotSet, now)
 		n.mu.Unlock()
 		if len(sampled) == 0 {
 			break
 		}
 		if batched {
-			delivered += n.fireBatched(sampledCtx, restCtx, span, likeObject, sampled, exclude, &attempts, now)
+			delivered += n.fireBatched(sampledCtx, restCtx, span, t, likeObject, sampled, exclude, &attempts, now)
 			continue
 		}
 		for _, s := range sampled {
@@ -507,7 +550,7 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 			if attempts == 1 {
 				actCtx = sampledCtx
 			}
-			delivered += n.applyOutcome(s, act(actCtx, s, ip), comment, now, span)
+			delivered += n.applyOutcome(t, s, act(actCtx, s, ip), comment, now, span)
 		}
 	}
 	// Scrape counters update once per burst, not once per action: a burst
@@ -532,15 +575,27 @@ func (n *Network) deliver(ctx context.Context, quota int, requester string, comm
 // 1 when the action was delivered. Both delivery modes funnel every
 // action through here, in sample order, so batching cannot drift from the
 // sequential path's Figure 5 dynamics.
-func (n *Network) applyOutcome(s Sampled, err error, comment bool, now time.Time, span *obs.Span) int {
+//
+// Failure dispatch is by provider-neutral kind, not numeric code: the
+// engine reacts identically to a dead token whether the platform says
+// 190 or 4010. FailuresByCode still records the platform's own code —
+// the operator-visible vocabulary the paper tabulates.
+func (n *Network) applyOutcome(t target, s Sampled, err error, comment bool, now time.Time, span *obs.Span) int {
 	n.mu.Lock()
 	if !comment {
-		n.stats.LikesAttempted++
+		if t.cross {
+			n.stats.CrossLikesAttempted++
+		} else {
+			n.stats.LikesAttempted++
+		}
 	}
 	if err == nil {
-		if comment {
+		switch {
+		case comment:
 			n.stats.CommentsDelivered++
-		} else {
+		case t.cross:
+			n.stats.CrossLikesDelivered++
+		default:
 			n.stats.LikesDelivered++
 		}
 		n.mu.Unlock()
@@ -552,19 +607,23 @@ func (n *Network) applyOutcome(s Sampled, err error, comment bool, now time.Time
 	if span != nil {
 		span.Event("failure", "code", strconv.Itoa(code))
 	}
-	switch code {
-	case graphapi.CodeInvalidToken, graphapi.CodeAccountSuspended:
+	switch platform.ErrorKind(err) {
+	case provider.KindInvalidToken, provider.KindAccountSuspended:
 		// Dead token: drop the member until they resubmit.
-		if n.pool.Remove(s.AccountID) {
+		if t.pool.Remove(s.AccountID) {
 			n.mu.Lock()
-			n.stats.TokensDropped++
+			if t.cross {
+				n.stats.CrossTokensDropped++
+			} else {
+				n.stats.TokensDropped++
+			}
 			n.mu.Unlock()
 			n.tokensDropped.Inc()
 			if span != nil {
 				span.Event("drop-token")
 			}
 		}
-	case graphapi.CodeRateLimited:
+	case provider.KindRateLimited:
 		n.noteRateLimited(now)
 		if span != nil {
 			span.Event("rate-limited")
@@ -578,7 +637,7 @@ func (n *Network) applyOutcome(s Sampled, err error, comment bool, now time.Time
 // per-action outcome through applyOutcome in sample order. The IPs for
 // the whole slice are drawn up front under one n.mu scope, consuming the
 // rng stream exactly as per-action pickIP calls would.
-func (n *Network) fireBatched(sampledCtx, restCtx context.Context, span *obs.Span, objectID string, sampled []Sampled, exclude map[string]bool, attempts *int, now time.Time) int {
+func (n *Network) fireBatched(sampledCtx, restCtx context.Context, span *obs.Span, t target, objectID string, sampled []Sampled, exclude map[string]bool, attempts *int, now time.Time) int {
 	first := *attempts == 0
 	ips := n.pickIPs(len(sampled))
 	ops := make([]platform.BatchLike, len(sampled))
@@ -603,7 +662,7 @@ func (n *Network) fireBatched(sampledCtx, restCtx context.Context, span *obs.Spa
 			// sequential path traces its first action.
 			ctx = sampledCtx
 		}
-		copy(errs[start:end], n.batchClient.LikeBatch(ctx, objectID, ops[start:end]))
+		copy(errs[start:end], t.batchClient.LikeBatch(ctx, objectID, ops[start:end]))
 	}
 	if workers := n.cfg.DeliveryWorkers; workers <= 1 || chunks <= 1 {
 		for i := 0; i < chunks; i++ {
@@ -626,7 +685,7 @@ func (n *Network) fireBatched(sampledCtx, restCtx context.Context, span *obs.Spa
 
 	delivered := 0
 	for i, s := range sampled {
-		delivered += n.applyOutcome(s, errs[i], false, now, span)
+		delivered += n.applyOutcome(t, s, errs[i], false, now, span)
 	}
 	return delivered
 }

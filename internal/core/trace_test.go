@@ -134,7 +134,7 @@ func TestDefenseActionsInMetrics(t *testing.T) {
 		`defense_actions_total{countermeasure="token-rate-limit",action="deploy"} 1`,
 		`defense_actions_total{countermeasure="token-invalidation",action="sweep"}`,
 		`collusion_likes_delivered_total{network="mg-likers.com"}`,
-		`graphapi_requests_total{op="like",code="0"}`,
+		`graphapi_requests_total{platform="facebook",op="like",code="0"}`,
 		`oauth_tokens_issued_total`,
 		`socialgraph_shard_lock_total`,
 	} {

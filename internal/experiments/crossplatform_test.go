@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+// The cross-platform run is fully deterministic (simulated clock, seeded
+// sampling, sequential delivery), so the table is pinned exactly: the
+// siloed wiring must miss the network entirely while the shared wiring
+// flags every delivery IP.
+func TestCrossPlatformSharedSignalsDetect(t *testing.T) {
+	res, err := CrossPlatform(CrossPlatformConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	siloed, shared := res.Rows[0], res.Rows[1]
+	if siloed.Mode != "siloed" || shared.Mode != "shared" {
+		t.Fatalf("row order: %q, %q", siloed.Mode, shared.Mode)
+	}
+
+	// Both wirings see the identical campaign: the deliveries match.
+	if siloed.LikesA != shared.LikesA || siloed.LikesB != shared.LikesB {
+		t.Fatalf("deliveries diverged across modes: %+v vs %+v", siloed, shared)
+	}
+	if siloed.LikesA != 120 || siloed.LikesB != 120 {
+		t.Fatalf("deliveries = (%d, %d); want (120, 120)", siloed.LikesA, siloed.LikesB)
+	}
+
+	// Siloed detectors each see half the signal and stay silent.
+	if siloed.FlaggedIPs != 0 || siloed.Clusters != 0 {
+		t.Fatalf("siloed wiring flagged %d IPs in %d clusters; want none", siloed.FlaggedIPs, siloed.Clusters)
+	}
+	// The shared detector sees the pooled stream and flags the whole pool.
+	if shared.FlaggedIPs != shared.PoolIPs || shared.DetectionRate != 1.0 {
+		t.Fatalf("shared wiring flagged %d/%d IPs (rate %.2f); want all",
+			shared.FlaggedIPs, shared.PoolIPs, shared.DetectionRate)
+	}
+	if shared.Clusters != 1 {
+		t.Fatalf("shared wiring found %d clusters; want 1", shared.Clusters)
+	}
+}
+
+func TestCrossPlatformDeterministic(t *testing.T) {
+	a, err := CrossPlatform(CrossPlatformConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossPlatform(CrossPlatformConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.String() != b.Table.String() {
+		t.Fatalf("same seed, different tables:\n%s\nvs\n%s", a.Table.String(), b.Table.String())
+	}
+}
+
+func TestCrossPlatformRegistered(t *testing.T) {
+	out, err := Run("cross-platform", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 1 || out.Tables[0].ID != "cross-platform" {
+		t.Fatalf("registry output: %+v", out)
+	}
+}

@@ -195,6 +195,13 @@ var Registry = map[string]Runner{
 		}
 		return Output{Tables: []Table{res.Table}}, nil
 	},
+	"cross-platform": func(scale int, seed int64) (Output, error) {
+		res, err := CrossPlatform(CrossPlatformConfig{Seed: seed})
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Tables: []Table{res.Table}}, nil
+	},
 	"extension-economics": func(scale int, seed int64) (Output, error) {
 		res, err := ExtensionEconomics(seed)
 		if err != nil {

@@ -297,6 +297,7 @@ func TestRegistryRunAndIDs(t *testing.T) {
 	want := []string{
 		"ablation-clustering", "ablation-honeypot-evasion", "ablation-invalidation",
 		"ablation-ip-vs-as", "ablation-ratelimit", "ablation-rejected",
+		"cross-platform",
 		"extension-detection", "extension-economics", "extension-privacy",
 		"figure4", "figure5", "figure5-all", "figure6", "figure7", "figure8",
 		"scale-slo", "sweep-contention",

@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/oauthsim"
 	"repro/internal/obs"
+	"repro/internal/provider"
 	"repro/internal/redact"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
@@ -148,8 +149,11 @@ func (c *Chain) Names() []string {
 	return out
 }
 
-// Error codes returned by the API, mirroring the Graph API's numeric error
-// space closely enough for clients to dispatch on.
+// Error codes of the DEFAULT provider's numeric space, kept as named
+// constants because a decade of client code (and this repo's experiments)
+// dispatches on them. Non-default providers map the same canonical kinds
+// (provider.ErrKind) into their own numeric spaces; portable code should
+// dispatch on ErrKindOf, not ErrCode.
 const (
 	CodeInvalidToken     = 190 // OAuthException: token missing/expired/invalidated
 	CodeSecretProof      = 104 // appsecret_proof failure
@@ -164,10 +168,13 @@ const (
 )
 
 // APIError is the structured error returned by Graph API operations.
+// Code and Type are in the issuing provider's vocabulary; Kind is the
+// provider-neutral classification.
 type APIError struct {
 	Code    int
 	Type    string
 	Message string
+	Kind    provider.ErrKind
 }
 
 // Error implements error.
@@ -175,8 +182,11 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("graphapi: (#%d) %s: %s", e.Code, e.Type, e.Message)
 }
 
-// ErrCode extracts the API error code from err, or 0.
+// ErrCode extracts the provider-specific API error code from err, or 0.
 func ErrCode(err error) int {
+	if ae, ok := err.(*APIError); ok {
+		return ae.Code
+	}
 	var ae *APIError
 	if errors.As(err, &ae) {
 		return ae.Code
@@ -184,8 +194,35 @@ func ErrCode(err error) int {
 	return 0
 }
 
-func apiErr(code int, typ, format string, args ...any) error {
-	return &APIError{Code: code, Type: typ, Message: fmt.Sprintf(format, args...)}
+// ErrKindOf extracts the canonical error kind from err, or KindNone.
+// Cross-provider code (the collusion delivery engine) dispatches on this
+// so one engine understands every platform's error space.
+func ErrKindOf(err error) provider.ErrKind {
+	// Direct assertion first: API errors are returned unwrapped, and
+	// errors.As heap-allocates its target — this runs once per failed op
+	// on the delivery path.
+	if ae, ok := err.(*APIError); ok {
+		return ae.Kind
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Kind
+	}
+	return provider.KindNone
+}
+
+// err builds an APIError in the API's provider vocabulary: the canonical
+// kind is mapped to the provider's numeric code, and typ (the canonical
+// type label) is passed through ErrorType so providers with their own
+// vocabulary can rename it. The default provider maps both identically,
+// which keeps its wire behavior bit-for-bit what it always was.
+func (a *API) err(k provider.ErrKind, typ, format string, args ...any) error {
+	return &APIError{
+		Code:    a.prov.ErrorCode(k),
+		Type:    a.prov.ErrorType(k, typ),
+		Message: fmt.Sprintf(format, args...),
+		Kind:    k,
+	}
 }
 
 // API is the in-process Graph API. All transports (HTTP and direct calls)
@@ -198,13 +235,20 @@ type API struct {
 	internet *netsim.Internet
 	chain    *Chain
 
+	// Platform identity: error vocabulary, scope names, batch cap, and
+	// the value of the platform metric label / provider span attribute.
+	prov         provider.Provider
+	provName     string
+	scopePublish string
+	scopeFriends string
+
 	// Telemetry, wired by SetObserver. All fields are nil-safe no-ops
 	// until then, so uninstrumented construction keeps working.
 	obs            *obs.Observer
-	reqCount       *obs.CounterVec   // graphapi_requests_total{op,code}
-	reqLatency     *obs.HistogramVec // graphapi_request_seconds{op}
+	reqCount       *obs.CounterVec   // graphapi_requests_total{platform,op,code}
+	reqLatency     *obs.HistogramVec // graphapi_request_seconds{platform,op}
 	defenseActions *obs.CounterVec   // defense_actions_total{countermeasure,action}
-	allocs         *obs.AllocMeter   // allocs_per_op{op} windows on the hot paths
+	allocs         *obs.AllocMeter   // allocs_per_op{platform,op} windows on the hot paths
 	opInst         [numOps]opInstruments
 }
 
@@ -244,21 +288,36 @@ var spanNames = func() (n [numOps]string) {
 	return
 }()
 
-// New wires an API over its substrates. internet may be nil, in which case
-// ASN resolution is skipped.
+// New wires an API for the default provider over its substrates.
+// internet may be nil, in which case ASN resolution is skipped.
 func New(clock simclock.Clock, graph *socialgraph.Store, oauth *oauthsim.Server, registry *apps.Registry, internet *netsim.Internet, chain *Chain) *API {
+	return NewFor(provider.Default(), clock, graph, oauth, registry, internet, chain)
+}
+
+// NewFor wires an API speaking the given provider's dialect: its error
+// vocabulary, scope names, and batch cap. The provider should match the
+// one the oauth server was built for — tokens minted in one format will
+// not validate against another.
+func NewFor(prov provider.Provider, clock simclock.Clock, graph *socialgraph.Store, oauth *oauthsim.Server, registry *apps.Registry, internet *netsim.Internet, chain *Chain) *API {
 	if chain == nil {
 		chain = NewChain()
 	}
 	return &API{
-		clock:    clock,
-		graph:    graph,
-		oauth:    oauth,
-		registry: registry,
-		internet: internet,
-		chain:    chain,
+		clock:        clock,
+		graph:        graph,
+		oauth:        oauth,
+		registry:     registry,
+		internet:     internet,
+		chain:        chain,
+		prov:         prov,
+		provName:     prov.Name(),
+		scopePublish: prov.ScopePublish(),
+		scopeFriends: prov.ScopeFriends(),
 	}
 }
+
+// Provider returns the platform identity this API speaks for.
+func (a *API) Provider() provider.Provider { return a.prov }
 
 // SetObserver wires telemetry into the API: a span tree per request
 // (graphapi.<op> → oauth.validate / defense.chain / shard.apply), request
@@ -268,19 +327,19 @@ func New(clock simclock.Clock, graph *socialgraph.Store, oauth *oauthsim.Server,
 func (a *API) SetObserver(o *obs.Observer) {
 	a.obs = o
 	a.reqCount = o.M().Counter("graphapi_requests_total",
-		"Graph API calls, by operation and numeric error code (0 = success).",
-		"op", "code")
+		"Graph API calls, by platform, operation, and numeric error code (0 = success).",
+		"platform", "op", "code")
 	a.reqLatency = o.M().Histogram("graphapi_request_seconds",
-		"Graph API call latency in seconds, by operation.",
-		nil, "op")
+		"Graph API call latency in seconds, by platform and operation.",
+		nil, "platform", "op")
 	a.defenseActions = o.M().Counter("defense_actions_total",
 		"Defense actions taken, by countermeasure and action.",
 		"countermeasure", "action")
 	a.allocs = o.A()
 	for op, name := range opNames {
 		a.opInst[op] = opInstruments{
-			ok:      a.reqCount.With(name, "0"),
-			latency: a.reqLatency.With(name),
+			ok:      a.reqCount.With(a.provName, name, "0"),
+			latency: a.reqLatency.With(a.provName, name),
 		}
 	}
 }
@@ -310,7 +369,9 @@ func (a *API) finish(span *obs.Span, op int, start time.Time, err error) {
 	if err == nil {
 		inst := a.opInst[op]
 		if span != nil {
-			span.SetAttr("code", "0")
+			// Both fixed attrs land in one append: the root span's attrs
+			// slice is allocated exactly once per call.
+			span.SetAttr2("provider", a.provName, "code", "0")
 			span.EndAt(end)
 		}
 		inst.ok.Inc()
@@ -318,10 +379,13 @@ func (a *API) finish(span *obs.Span, op int, start time.Time, err error) {
 		return
 	}
 	code := strconv.Itoa(ErrCode(err))
-	span.SetAttr("code", code)
+	span.SetAttr2("provider", a.provName, "code", code)
 	span.EndAt(end)
-	a.reqCount.Inc(opNames[op], code)
-	a.reqLatency.Observe(end.Sub(start).Seconds(), opNames[op])
+	a.reqCount.Inc(a.provName, opNames[op], code)
+	// The latency family's labels do not include the code, so the
+	// success-path bound histogram serves denials and errors too — rate
+	// limiting makes denials hot (every over-quota call lands here).
+	a.opInst[op].latency.Observe(end.Sub(start).Seconds())
 }
 
 // evaluate runs the policy chain under a defense.chain span and counts
@@ -395,7 +459,7 @@ func (a *API) authenticateMemo(ctx context.Context, c CallContext, verb Verb, ne
 	info, err := a.oauth.Validate(c.AccessToken)
 	if err != nil {
 		span.Event("invalid-token")
-		return Request{}, apiErr(CodeInvalidToken, "OAuthException", "%v", err)
+		return Request{}, a.err(provider.KindInvalidToken, "OAuthException", "%v", err)
 	}
 	if span != nil {
 		span.SetAttr("app", info.AppID)
@@ -408,16 +472,16 @@ func (a *API) authenticateMemo(ctx context.Context, c CallContext, verb Verb, ne
 		app, err = a.registry.Get(info.AppID)
 	}
 	if err != nil {
-		return Request{}, apiErr(CodeInvalidToken, "OAuthException", "application not found")
+		return Request{}, a.err(provider.KindInvalidToken, "OAuthException", "application not found")
 	}
 	if app.Suspended {
-		return Request{}, apiErr(CodeAppSuspended, "OAuthException", "application %s is disabled", app.ID)
+		return Request{}, a.err(provider.KindAppSuspended, "OAuthException", "application %s is disabled", app.ID)
 	}
 	if err := a.oauth.VerifySecretProof(info, c.AppSecretProof); err != nil {
-		return Request{}, apiErr(CodeSecretProof, "GraphMethodException", "%v", err)
+		return Request{}, a.err(provider.KindSecretProof, "GraphMethodException", "%v", err)
 	}
 	if needScope != "" && !info.HasScope(needScope) {
-		return Request{}, apiErr(CodePermission, "OAuthException", "requires %s permission", needScope)
+		return Request{}, a.err(provider.KindPermission, "OAuthException", "requires %s permission", needScope)
 	}
 	req := Request{
 		Verb:     verb,
@@ -448,7 +512,7 @@ func (a *API) Me(c CallContext) (_ socialgraph.Account, err error) {
 	}
 	acct, err := a.graph.Account(req.Token.AccountID)
 	if err != nil {
-		return socialgraph.Account{}, apiErr(CodeNotFound, "GraphMethodException", "account missing")
+		return socialgraph.Account{}, a.err(provider.KindNotFound, "GraphMethodException", "account missing")
 	}
 	return acct, nil
 }
@@ -458,7 +522,7 @@ func (a *API) Like(c CallContext, objectID string) (err error) {
 	ctx, span, start := a.begin(c.Ctx, opLike)
 	defer func() { a.finish(span, opLike, start, err) }()
 	span.SetAttr("object", objectID)
-	req, err := a.authenticate(ctx, c, VerbLike, apps.PermPublishActions, start)
+	req, err := a.authenticate(ctx, c, VerbLike, a.scopePublish, start)
 	if err != nil {
 		return err
 	}
@@ -470,24 +534,24 @@ func (a *API) Like(c CallContext, objectID string) (err error) {
 	writeErr := a.applyShard(ctx, req.At, objectID, func() error {
 		return a.graph.AddLike(req.Token.AccountID, objectID, meta)
 	})
-	return likeWriteError(writeErr, objectID)
+	return a.likeWriteError(writeErr, objectID)
 }
 
 // likeWriteError maps a store-level like error to its Graph API error.
 // Like and LikeBatch share this mapping so batched and sequential likes
 // surface identical codes.
-func likeWriteError(writeErr error, objectID string) error {
+func (a *API) likeWriteError(writeErr error, objectID string) error {
 	switch {
 	case writeErr == nil:
 		return nil
 	case errors.Is(writeErr, socialgraph.ErrAlreadyLiked):
-		return apiErr(CodeDuplicate, "GraphMethodException", "duplicate like")
+		return a.err(provider.KindDuplicate, "GraphMethodException", "duplicate like")
 	case errors.Is(writeErr, socialgraph.ErrSuspended):
-		return apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
+		return a.err(provider.KindAccountSuspended, "OAuthException", "account suspended")
 	case errors.Is(writeErr, socialgraph.ErrInvalidReference), errors.Is(writeErr, socialgraph.ErrNotFound):
-		return apiErr(CodeNotFound, "GraphMethodException", "unknown object %s", objectID)
+		return a.err(provider.KindNotFound, "GraphMethodException", "unknown object %s", objectID)
 	default:
-		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", writeErr)
+		return a.err(provider.KindInvalidParam, "GraphMethodException", "%v", writeErr)
 	}
 }
 
@@ -497,7 +561,7 @@ func likeWriteError(writeErr error, objectID string) error {
 func (a *API) Unlike(c CallContext, objectID string) (err error) {
 	ctx, span, start := a.begin(c.Ctx, opUnlike)
 	defer func() { a.finish(span, opUnlike, start, err) }()
-	req, err := a.authenticate(ctx, c, VerbLike, apps.PermPublishActions, start)
+	req, err := a.authenticate(ctx, c, VerbLike, a.scopePublish, start)
 	if err != nil {
 		return err
 	}
@@ -512,9 +576,9 @@ func (a *API) Unlike(c CallContext, objectID string) (err error) {
 	case writeErr == nil:
 		return nil
 	case errors.Is(writeErr, socialgraph.ErrNotLiked):
-		return apiErr(CodeNotFound, "GraphMethodException", "no like to remove")
+		return a.err(provider.KindNotFound, "GraphMethodException", "no like to remove")
 	default:
-		return apiErr(CodeInvalidParam, "GraphMethodException", "%v", writeErr)
+		return a.err(provider.KindInvalidParam, "GraphMethodException", "%v", writeErr)
 	}
 }
 
@@ -523,7 +587,7 @@ func (a *API) Comment(c CallContext, postID, message string) (_ socialgraph.Comm
 	ctx, span, start := a.begin(c.Ctx, opComment)
 	defer func() { a.finish(span, opComment, start, err) }()
 	span.SetAttr("object", postID)
-	req, err := a.authenticate(ctx, c, VerbComment, apps.PermPublishActions, start)
+	req, err := a.authenticate(ctx, c, VerbComment, a.scopePublish, start)
 	if err != nil {
 		return socialgraph.Comment{}, err
 	}
@@ -543,13 +607,13 @@ func (a *API) Comment(c CallContext, postID, message string) (_ socialgraph.Comm
 	case writeErr == nil:
 		return cm, nil
 	case errors.Is(writeErr, socialgraph.ErrSuspended):
-		return socialgraph.Comment{}, apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
+		return socialgraph.Comment{}, a.err(provider.KindAccountSuspended, "OAuthException", "account suspended")
 	case errors.Is(writeErr, socialgraph.ErrNotFound):
-		return socialgraph.Comment{}, apiErr(CodeNotFound, "GraphMethodException", "unknown post %s", postID)
+		return socialgraph.Comment{}, a.err(provider.KindNotFound, "GraphMethodException", "unknown post %s", postID)
 	case errors.Is(writeErr, socialgraph.ErrEmptyMessage):
-		return socialgraph.Comment{}, apiErr(CodeInvalidParam, "GraphMethodException", "empty message")
+		return socialgraph.Comment{}, a.err(provider.KindInvalidParam, "GraphMethodException", "empty message")
 	default:
-		return socialgraph.Comment{}, apiErr(CodeInvalidParam, "GraphMethodException", "%v", writeErr)
+		return socialgraph.Comment{}, a.err(provider.KindInvalidParam, "GraphMethodException", "%v", writeErr)
 	}
 }
 
@@ -557,7 +621,7 @@ func (a *API) Comment(c CallContext, postID, message string) (_ socialgraph.Comm
 func (a *API) Publish(c CallContext, message string) (_ socialgraph.Post, err error) {
 	ctx, span, start := a.begin(c.Ctx, opPublish)
 	defer func() { a.finish(span, opPublish, start, err) }()
-	req, err := a.authenticate(ctx, c, VerbPost, apps.PermPublishActions, start)
+	req, err := a.authenticate(ctx, c, VerbPost, a.scopePublish, start)
 	if err != nil {
 		return socialgraph.Post{}, err
 	}
@@ -571,11 +635,11 @@ func (a *API) Publish(c CallContext, message string) (_ socialgraph.Post, err er
 	case err == nil:
 		return p, nil
 	case errors.Is(err, socialgraph.ErrSuspended):
-		return socialgraph.Post{}, apiErr(CodeAccountSuspended, "OAuthException", "account suspended")
+		return socialgraph.Post{}, a.err(provider.KindAccountSuspended, "OAuthException", "account suspended")
 	case errors.Is(err, socialgraph.ErrEmptyMessage):
-		return socialgraph.Post{}, apiErr(CodeInvalidParam, "GraphMethodException", "empty message")
+		return socialgraph.Post{}, a.err(provider.KindInvalidParam, "GraphMethodException", "empty message")
 	default:
-		return socialgraph.Post{}, apiErr(CodeInvalidParam, "GraphMethodException", "%v", err)
+		return socialgraph.Post{}, a.err(provider.KindInvalidParam, "GraphMethodException", "%v", err)
 	}
 }
 
@@ -598,7 +662,7 @@ func (a *API) Feed(c CallContext) (_ []socialgraph.Post, err error) {
 func (a *API) Friends(c CallContext) (_ []socialgraph.Account, err error) {
 	ctx, span, start := a.begin(c.Ctx, opFriends)
 	defer func() { a.finish(span, opFriends, start, err) }()
-	req, err := a.authenticate(ctx, c, VerbRead, apps.PermUserFriends, start)
+	req, err := a.authenticate(ctx, c, VerbRead, a.scopeFriends, start)
 	if err != nil {
 		return nil, err
 	}
@@ -659,9 +723,9 @@ func (a *API) CommentsPage(c CallContext, postID string, after, limit int) (page
 }
 
 func (a *API) denialError(d Decision) error {
-	code := CodeBlocked
+	k := provider.KindBlocked
 	if d.Policy == "token-rate-limit" || d.Policy == "ip-rate-limit" {
-		code = CodeRateLimited
+		k = provider.KindRateLimited
 	}
-	return apiErr(code, "PolicyException", "denied by %s: %s", d.Policy, d.Reason)
+	return a.err(k, "PolicyException", "denied by %s: %s", d.Policy, d.Reason)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/netsim"
 	"repro/internal/oauthsim"
+	"repro/internal/provider"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
 )
@@ -302,7 +303,7 @@ func TestSuspendedAccountSurfacesAPIError(t *testing.T) {
 }
 
 func TestAPIErrorFormatting(t *testing.T) {
-	err := apiErr(CodeRateLimited, "PolicyException", "limit %d", 10)
+	err := &APIError{Code: CodeRateLimited, Type: "PolicyException", Message: "limit 10", Kind: provider.KindRateLimited}
 	want := "graphapi: (#613) PolicyException: limit 10"
 	if err.Error() != want {
 		t.Fatalf("Error() = %q, want %q", err.Error(), want)

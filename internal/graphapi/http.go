@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/oauthsim"
+	"repro/internal/provider"
 	"repro/internal/secrets"
 	"repro/internal/socialgraph"
 )
@@ -174,29 +175,40 @@ type errorEnvelope struct {
 	} `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	var ae *APIError
-	if !errors.As(err, &ae) {
-		ae = &APIError{Code: CodeInvalidParam, Type: "GraphMethodException", Message: err.Error()}
-	}
+func (h *httpAPI) writeError(w http.ResponseWriter, err error) {
+	ae := h.asAPIError(err)
 	var env errorEnvelope
 	env.Error.Message = ae.Message
 	env.Error.Type = ae.Type
 	env.Error.Code = ae.Code
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(httpStatus(ae.Code))
+	w.WriteHeader(httpStatus(ae.Kind))
 	_ = json.NewEncoder(w).Encode(env)
 }
 
-func httpStatus(code int) int {
-	switch code {
-	case CodeInvalidToken, CodeAppSuspended, CodeAccountSuspended:
+// asAPIError coerces err into the serving provider's error vocabulary;
+// non-API errors surface as invalid-param in that vocabulary.
+func (h *httpAPI) asAPIError(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	out, _ := h.api.err(provider.KindInvalidParam, "GraphMethodException", "%v", err).(*APIError)
+	return out
+}
+
+// httpStatus maps the canonical error kind to an HTTP status. Dispatching
+// on the kind (not the numeric code) keeps the status map correct for
+// every provider's numeric space.
+func httpStatus(k provider.ErrKind) int {
+	switch k {
+	case provider.KindInvalidToken, provider.KindAppSuspended, provider.KindAccountSuspended:
 		return http.StatusUnauthorized
-	case CodeSecretProof, CodePermission, CodeBlocked:
+	case provider.KindSecretProof, provider.KindPermission, provider.KindBlocked:
 		return http.StatusForbidden
-	case CodeRateLimited:
+	case provider.KindRateLimited:
 		return http.StatusTooManyRequests
-	case CodeNotFound:
+	case provider.KindNotFound:
 		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
@@ -248,12 +260,12 @@ func (h *httpAPI) dialog(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := h.api.OAuth().Authorize(req)
 	if err != nil {
-		writeError(w, apiErr(CodeInvalidParam, "OAuthException", "%v", err))
+		h.writeError(w, h.api.err(provider.KindInvalidParam, "OAuthException", "%v", err))
 		return
 	}
 	loc, err := url.Parse(req.RedirectURI)
 	if err != nil {
-		writeError(w, apiErr(CodeInvalidParam, "OAuthException", "bad redirect URI"))
+		h.writeError(w, h.api.err(provider.KindInvalidParam, "OAuthException", "bad redirect URI"))
 		return
 	}
 	if res.AccessToken != "" {
@@ -280,7 +292,7 @@ func (h *httpAPI) dialog(w http.ResponseWriter, r *http.Request) {
 // long-lived.
 func (h *httpAPI) exchange(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost && r.Method != http.MethodGet {
-		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "unsupported method"))
+		h.writeError(w, h.api.err(provider.KindInvalidParam, "GraphMethodException", "unsupported method"))
 		return
 	}
 	var info oauthsim.TokenInfo
@@ -300,7 +312,7 @@ func (h *httpAPI) exchange(w http.ResponseWriter, r *http.Request) {
 		)
 	}
 	if err != nil {
-		writeError(w, apiErr(CodeInvalidToken, "OAuthException", "%v", err))
+		h.writeError(w, h.api.err(provider.KindInvalidToken, "OAuthException", "%v", err))
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -313,7 +325,7 @@ func (h *httpAPI) exchange(w http.ResponseWriter, r *http.Request) {
 func (h *httpAPI) me(w http.ResponseWriter, r *http.Request) {
 	acct, err := h.api.Me(callContext(r))
 	if err != nil {
-		writeError(w, err)
+		h.writeError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -326,7 +338,7 @@ func (h *httpAPI) me(w http.ResponseWriter, r *http.Request) {
 func (h *httpAPI) friends(w http.ResponseWriter, r *http.Request) {
 	friends, err := h.api.Friends(callContext(r))
 	if err != nil {
-		writeError(w, err)
+		h.writeError(w, err)
 		return
 	}
 	data := make([]map[string]any, 0, len(friends))
@@ -345,14 +357,14 @@ func (h *httpAPI) feed(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		post, err := h.api.Publish(callContext(r), r.FormValue("message"))
 		if err != nil {
-			writeError(w, err)
+			h.writeError(w, err)
 			return
 		}
 		writeJSON(w, map[string]any{"id": post.ID})
 	case http.MethodGet:
 		posts, err := h.api.Feed(callContext(r))
 		if err != nil {
-			writeError(w, err)
+			h.writeError(w, err)
 			return
 		}
 		data := make([]map[string]any, 0, len(posts))
@@ -365,7 +377,7 @@ func (h *httpAPI) feed(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, map[string]any{"data": data})
 	default:
-		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "GET or POST required"))
+		h.writeError(w, h.api.err(provider.KindInvalidParam, "GraphMethodException", "GET or POST required"))
 	}
 }
 
@@ -380,18 +392,18 @@ func (h *httpAPI) debugToken(w http.ResponseWriter, r *http.Request) {
 	input := r.FormValue("input_token")
 	app, err := h.api.Registry().Get(appID)
 	if err != nil {
-		writeError(w, apiErr(CodeInvalidToken, "OAuthException", "unknown application"))
+		h.writeError(w, h.api.err(provider.KindInvalidToken, "OAuthException", "unknown application"))
 		return
 	}
 	if !secrets.Equal(secret, app.Secret) {
-		writeError(w, apiErr(CodeSecretProof, "OAuthException", "application secret mismatch"))
+		h.writeError(w, h.api.err(provider.KindSecretProof, "OAuthException", "application secret mismatch"))
 		return
 	}
 	data := map[string]any{"is_valid": false}
 	if info, verr := h.api.OAuth().Validate(input); verr == nil {
 		if info.AppID != appID {
 			// Apps may only introspect their own tokens.
-			writeError(w, apiErr(CodePermission, "OAuthException", "token belongs to another application"))
+			h.writeError(w, h.api.err(provider.KindPermission, "OAuthException", "token belongs to another application"))
 			return
 		}
 		data = map[string]any{
@@ -424,25 +436,23 @@ type batchResult struct {
 	Body string `json:"body"`
 }
 
-// maxBatchOps mirrors the Graph API's 50-operation batch cap.
-const maxBatchOps = 50
-
 // batch implements POST /batch: a JSON array of operations executed
 // sequentially, each producing an embedded status code and body. The
 // access_token of the outer request is the default for operations that
 // do not carry their own.
 func (h *httpAPI) batch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "POST required"))
+		h.writeError(w, h.api.err(provider.KindInvalidParam, "GraphMethodException", "POST required"))
 		return
 	}
 	var ops []batchOp
 	if err := json.Unmarshal([]byte(r.FormValue("batch")), &ops); err != nil {
-		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "bad batch JSON: %v", err))
+		h.writeError(w, h.api.err(provider.KindInvalidParam, "GraphMethodException", "bad batch JSON: %v", err))
 		return
 	}
-	if len(ops) == 0 || len(ops) > maxBatchOps {
-		writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "batch size must be 1..%d", maxBatchOps))
+	maxOps := h.api.prov.Limits().MaxBatchOps
+	if len(ops) == 0 || len(ops) > maxOps {
+		h.writeError(w, h.api.err(provider.KindInvalidParam, "GraphMethodException", "batch size must be 1..%d", maxOps))
 		return
 	}
 	defaultToken := r.FormValue("access_token")
@@ -454,7 +464,7 @@ func (h *httpAPI) batch(w http.ResponseWriter, r *http.Request) {
 		errs := h.api.LikeBatch(r.Context(), objectID, likeOps)
 		results := make([]batchResult, len(errs))
 		for i, err := range errs {
-			results[i] = likeBatchResult(err)
+			results[i] = h.likeBatchResult(err)
 		}
 		writeJSON(w, results)
 		return
@@ -515,20 +525,17 @@ func parseLikeBatch(ops []batchOp, defaultToken, fwd string) (string, []BatchLik
 
 // likeBatchResult renders one batched like outcome into the same embedded
 // status and envelope the replay path produces.
-func likeBatchResult(err error) batchResult {
+func (h *httpAPI) likeBatchResult(err error) batchResult {
 	if err == nil {
 		return batchResult{Code: http.StatusOK, Body: `{"success":true}`}
 	}
-	var ae *APIError
-	if !errors.As(err, &ae) {
-		ae = &APIError{Code: CodeInvalidParam, Type: "GraphMethodException", Message: err.Error()}
-	}
+	ae := h.asAPIError(err)
 	var env errorEnvelope
 	env.Error.Message = ae.Message
 	env.Error.Type = ae.Type
 	env.Error.Code = ae.Code
 	b, _ := json.Marshal(env)
-	return batchResult{Code: httpStatus(ae.Code), Body: string(b)}
+	return batchResult{Code: httpStatus(ae.Kind), Body: string(b)}
 }
 
 // runBatchOp executes one batched operation by replaying it through the
@@ -621,7 +628,7 @@ func (r *recorder) Write(b []byte) (int, error) {
 func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
 	if len(parts) != 2 {
-		writeError(w, apiErr(CodeNotFound, "GraphMethodException", "unknown path %q", r.URL.Path))
+		h.writeError(w, h.api.err(provider.KindNotFound, "GraphMethodException", "unknown path %q", r.URL.Path))
 		return
 	}
 	objectID, edge := parts[0], parts[1]
@@ -629,25 +636,25 @@ func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case edge == "likes" && r.Method == http.MethodPost:
 		if err := h.api.Like(ctx, objectID); err != nil {
-			writeError(w, err)
+			h.writeError(w, err)
 			return
 		}
 		writeJSON(w, map[string]any{"success": true})
 	case edge == "likes" && r.Method == http.MethodDelete:
 		if err := h.api.Unlike(ctx, objectID); err != nil {
-			writeError(w, err)
+			h.writeError(w, err)
 			return
 		}
 		writeJSON(w, map[string]any{"success": true})
 	case edge == "likes" && r.Method == http.MethodGet:
 		limit, after, perr := pageParams(r)
 		if perr != nil {
-			writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "%v", perr))
+			h.writeError(w, h.api.err(provider.KindInvalidParam, "GraphMethodException", "%v", perr))
 			return
 		}
 		likes, next, more, err := h.api.LikesPage(ctx, objectID, after, limit)
 		if err != nil {
-			writeError(w, err)
+			h.writeError(w, err)
 			return
 		}
 		data := make([]map[string]any, 0, len(likes))
@@ -665,19 +672,19 @@ func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 	case edge == "comments" && r.Method == http.MethodPost:
 		c, err := h.api.Comment(ctx, objectID, r.FormValue("message"))
 		if err != nil {
-			writeError(w, err)
+			h.writeError(w, err)
 			return
 		}
 		writeJSON(w, map[string]any{"id": c.ID})
 	case edge == "comments" && r.Method == http.MethodGet:
 		limit, after, perr := pageParams(r)
 		if perr != nil {
-			writeError(w, apiErr(CodeInvalidParam, "GraphMethodException", "%v", perr))
+			h.writeError(w, h.api.err(provider.KindInvalidParam, "GraphMethodException", "%v", perr))
 			return
 		}
 		comments, next, more, err := h.api.CommentsPage(ctx, objectID, after, limit)
 		if err != nil {
-			writeError(w, err)
+			h.writeError(w, err)
 			return
 		}
 		data := make([]map[string]any, 0, len(comments))
@@ -695,6 +702,6 @@ func (h *httpAPI) object(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, body)
 	default:
-		writeError(w, apiErr(CodeNotFound, "GraphMethodException", "unknown edge %q", edge))
+		h.writeError(w, h.api.err(provider.KindNotFound, "GraphMethodException", "unknown edge %q", edge))
 	}
 }

@@ -94,6 +94,7 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 	}
 	ctx, span := a.obs.T().StartSpanAt(ctx, "graphapi.like_batch", start)
 	if span != nil {
+		span.SetAttr("provider", a.provName)
 		span.SetAttr("object", objectID)
 		span.SetAttr("ops", strconv.Itoa(len(ops)))
 	}
@@ -112,7 +113,7 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 			opCtx = unsampled
 		}
 		cc := CallContext{AccessToken: op.AccessToken, AppSecretProof: op.AppSecretProof, SourceIP: op.SourceIP}
-		req, err := a.authenticateMemo(opCtx, cc, VerbLike, apps.PermPublishActions, start, memo)
+		req, err := a.authenticateMemo(opCtx, cc, VerbLike, a.scopePublish, start, memo)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -142,7 +143,7 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 		bs.End(len(apply))
 		aspan.EndAt(start)
 		for j, we := range writeErrs {
-			errs[applyIdx[j]] = likeWriteError(we, objectID)
+			errs[applyIdx[j]] = a.likeWriteError(we, objectID)
 		}
 	}
 
@@ -164,8 +165,10 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 				inst.latency.Observe(secs)
 				continue
 			}
-			a.reqCount.Inc(opNames[opLike], strconv.Itoa(ErrCode(err)))
-			a.reqLatency.Observe(secs, opNames[opLike])
+			a.reqCount.Inc(a.provName, opNames[opLike], strconv.Itoa(ErrCode(err)))
+			// The latency family has no code label; the bound series
+			// covers failed ops too (rate-limit denials make this hot).
+			inst.latency.Observe(secs)
 		}
 	}
 	return errs

@@ -30,6 +30,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/provider"
 	"repro/internal/redact"
 	"repro/internal/secrets"
 	"repro/internal/simclock"
@@ -53,6 +54,7 @@ var (
 	ErrTokenInvalidated    = errors.New("oauthsim: access token invalidated")
 	ErrBadSecretProof      = errors.New("oauthsim: invalid appsecret_proof")
 	ErrSecretProofRequired = errors.New("oauthsim: appsecret_proof required")
+	ErrFlowUnsupported     = errors.New("oauthsim: grant flow not offered by this provider")
 )
 
 // codeLifetime bounds how long an authorization code may sit unexchanged.
@@ -133,6 +135,7 @@ type authCode struct {
 // Server is the authorization server. It is safe for concurrent use.
 type Server struct {
 	clock simclock.Clock
+	prov  provider.Provider
 	apps  *apps.Registry
 	graph *socialgraph.Store
 
@@ -149,11 +152,20 @@ type Server struct {
 	invalidated *obs.CounterVec // oauth_tokens_invalidated_total{reason}
 }
 
-// NewServer returns an authorization server bound to the app registry and
-// account store.
+// NewServer returns an authorization server for the default provider,
+// bound to the app registry and account store.
 func NewServer(clock simclock.Clock, registry *apps.Registry, graph *socialgraph.Store) *Server {
+	return NewServerFor(provider.Default(), clock, registry, graph)
+}
+
+// NewServerFor returns an authorization server speaking the given
+// provider's dialect: its token wire format and its grant-flow menu
+// (a provider without the implicit flow refuses response_type=token
+// outright, regardless of per-app settings).
+func NewServerFor(prov provider.Provider, clock simclock.Clock, registry *apps.Registry, graph *socialgraph.Store) *Server {
 	return &Server{
 		clock:     clock,
+		prov:      prov,
 		apps:      registry,
 		graph:     graph,
 		tokens:    make(map[string]*TokenInfo),
@@ -161,6 +173,9 @@ func NewServer(clock simclock.Clock, registry *apps.Registry, graph *socialgraph
 		codes:     make(map[string]authCode),
 	}
 }
+
+// Provider returns the platform identity this server speaks for.
+func (s *Server) Provider() provider.Provider { return s.prov }
 
 // SetObserver wires telemetry: token grant/revocation counters and a span
 // per issued token (the root of the oauth → graphapi trace when issuance
@@ -202,6 +217,9 @@ func (s *Server) Authorize(req AuthorizeRequest) (AuthorizeResult, error) {
 
 	switch req.ResponseType {
 	case ResponseToken:
+		if !s.prov.Supports(provider.FlowImplicit) {
+			return AuthorizeResult{}, fmt.Errorf("%w: implicit", ErrFlowUnsupported)
+		}
 		if !app.ClientFlowEnabled {
 			return AuthorizeResult{}, ErrClientFlowDisabled
 		}
@@ -212,6 +230,9 @@ func (s *Server) Authorize(req AuthorizeRequest) (AuthorizeResult, error) {
 			State:       req.State,
 		}, nil
 	case ResponseCode:
+		if !s.prov.Supports(provider.FlowCode) {
+			return AuthorizeResult{}, fmt.Errorf("%w: code", ErrFlowUnsupported)
+		}
 		code := ids.NewSecret()
 		s.mu.Lock()
 		s.codes[code] = authCode{
@@ -284,7 +305,7 @@ func (s *Server) ExchangeForLongLived(appID, appSecret, token string) (TokenInfo
 	}
 	now := s.clock.Now()
 	long := &TokenInfo{
-		Token:     ids.NewToken(),
+		Token:     s.prov.MintToken(),
 		AccountID: info.AccountID,
 		AppID:     appID,
 		Scopes:    append([]string(nil), info.Scopes...),
@@ -324,7 +345,7 @@ func (s *Server) noteIssued(appID, token, grant string) {
 func (s *Server) issue(accountID string, app apps.App, scopes []string) TokenInfo {
 	now := s.clock.Now()
 	info := &TokenInfo{
-		Token:     ids.NewToken(),
+		Token:     s.prov.MintToken(),
 		AccountID: accountID,
 		AppID:     app.ID,
 		Scopes:    append([]string(nil), scopes...),
@@ -345,8 +366,14 @@ func (s *Server) issue(accountID string, app apps.App, scopes []string) TokenInf
 }
 
 // Validate checks a bearer token and returns its record. The error
-// distinguishes unknown, expired, and invalidated tokens.
+// distinguishes unknown, expired, and invalidated tokens. A token that
+// fails the provider's surface format check is rejected as unknown
+// before any state is consulted — the check is alloc-free, so this
+// stays off the validation allocation budget.
 func (s *Server) Validate(token string) (TokenInfo, error) {
+	if s.prov.CheckToken(token) != nil {
+		return TokenInfo{}, ErrTokenNotFound
+	}
 	s.mu.RLock()
 	info, ok := s.tokens[token]
 	s.mu.RUnlock()

@@ -46,25 +46,39 @@ type AllocMeter struct {
 	n     atomic.Uint64 // stride counter across all ops
 	every atomic.Uint64 // sample 1 window in every N eligible Begins
 
-	perOp   *GaugeVec   // allocs_per_op{op}
-	bytesOp *GaugeVec   // alloc_bytes_per_op{op}
-	windows *CounterVec // allocmeter_windows_total{op}
+	platform string      // value of the families' platform label
+	perOp    *GaugeVec   // allocs_per_op{platform,op}
+	bytesOp  *GaugeVec   // alloc_bytes_per_op{platform,op}
+	windows  *CounterVec // allocmeter_windows_total{platform,op}
 }
 
+// DefaultPlatformLabel is the platform label value for meters not bound
+// to a specific provider (benchmark worlds, the milker's own meter).
+const DefaultPlatformLabel = "default"
+
 // NewAllocMeter registers the meter's families on r and returns a meter
-// with the default sampling stride. A nil registry yields a meter whose
-// measurements go nowhere but whose gating still works (useful in tests).
+// with the default sampling stride and platform label. A nil registry
+// yields a meter whose measurements go nowhere but whose gating still
+// works (useful in tests).
 func NewAllocMeter(r *Registry) *AllocMeter {
+	return NewAllocMeterFor(r, DefaultPlatformLabel)
+}
+
+// NewAllocMeterFor is NewAllocMeter with an explicit platform label
+// value, so multi-provider deployments split allocs-per-op by platform
+// on one registry.
+func NewAllocMeterFor(r *Registry, platform string) *AllocMeter {
 	m := &AllocMeter{
+		platform: platform,
 		perOp: r.Gauge("allocs_per_op",
-			"Sampled heap allocations per operation on a hot path, by op.",
-			"op"),
+			"Sampled heap allocations per operation on a hot path, by platform and op.",
+			"platform", "op"),
 		bytesOp: r.Gauge("alloc_bytes_per_op",
-			"Sampled heap bytes allocated per operation on a hot path, by op.",
-			"op"),
+			"Sampled heap bytes allocated per operation on a hot path, by platform and op.",
+			"platform", "op"),
 		windows: r.Counter("allocmeter_windows_total",
-			"Measured allocation windows, by op.",
-			"op"),
+			"Measured allocation windows, by platform and op.",
+			"platform", "op"),
 	}
 	m.every.Store(DefaultAllocSampleEvery)
 	return m
@@ -124,7 +138,7 @@ func (s AllocSample) End(ops int) {
 		return
 	}
 	objects, bytes := readAllocCounters()
-	s.m.perOp.Set(float64(objects-s.objects)/float64(ops), s.op)
-	s.m.bytesOp.Set(float64(bytes-s.bytes)/float64(ops), s.op)
-	s.m.windows.Inc(s.op)
+	s.m.perOp.Set(float64(objects-s.objects)/float64(ops), s.m.platform, s.op)
+	s.m.bytesOp.Set(float64(bytes-s.bytes)/float64(ops), s.m.platform, s.op)
+	s.m.windows.Inc(s.m.platform, s.op)
 }

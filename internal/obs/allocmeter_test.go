@@ -43,15 +43,15 @@ func TestAllocMeterMeasuresForcedAllocs(t *testing.T) {
 	}
 	s.End(ops)
 
-	if got := scrapeValue(t, reg, `allocs_per_op{op="forced"}`); got <= 0 {
+	if got := scrapeValue(t, reg, `allocs_per_op{platform="default",op="forced"}`); got <= 0 {
 		t.Errorf("allocs_per_op = %v, want > 0 after %d forced allocations", got, ops)
 	}
 	// Each op allocated 4096 bytes; the per-op byte figure must at least
 	// reflect that (concurrent test allocations can only push it up).
-	if got := scrapeValue(t, reg, `alloc_bytes_per_op{op="forced"}`); got < 4096 {
+	if got := scrapeValue(t, reg, `alloc_bytes_per_op{platform="default",op="forced"}`); got < 4096 {
 		t.Errorf("alloc_bytes_per_op = %v, want >= 4096", got)
 	}
-	if got := scrapeValue(t, reg, `allocmeter_windows_total{op="forced"}`); got != 1 {
+	if got := scrapeValue(t, reg, `allocmeter_windows_total{platform="default",op="forced"}`); got != 1 {
 		t.Errorf("allocmeter_windows_total = %v, want 1", got)
 	}
 }
@@ -95,7 +95,7 @@ func TestAllocMeterStride(t *testing.T) {
 		allocSink = make([]byte, 64)
 		s.End(1)
 	}
-	if got := scrapeValue(t, reg, `allocmeter_windows_total{op="strided"}`); got != 4 {
+	if got := scrapeValue(t, reg, `allocmeter_windows_total{platform="default",op="strided"}`); got != 4 {
 		t.Errorf("allocmeter_windows_total = %v, want 4 (16 calls / stride 4)", got)
 	}
 }
@@ -117,4 +117,18 @@ func TestSampledHelper(t *testing.T) {
 		t.Error("Sampled(span ctx) = false, want true")
 	}
 	span.End()
+}
+
+// TestAllocMeterPlatformLabel: a meter bound to a provider name labels
+// its families with it, so multi-provider registries split cleanly.
+func TestAllocMeterPlatformLabel(t *testing.T) {
+	reg := NewRegistry()
+	m := NewAllocMeterFor(reg, "pictogram")
+	m.SetSampleEvery(1)
+	s := m.Begin(context.Background(), "op")
+	allocSink = make([]byte, 64)
+	s.End(1)
+	if got := scrapeValue(t, reg, `allocmeter_windows_total{platform="pictogram",op="op"}`); got != 1 {
+		t.Errorf("allocmeter_windows_total{platform=pictogram} = %v, want 1", got)
+	}
 }

@@ -220,6 +220,19 @@ func (s *Span) SetAttr(key, value string) {
 	s.mu.Unlock()
 }
 
+// SetAttr2 records two attributes with one lock acquisition and at most
+// one slice growth — for hot paths whose spans carry a fixed attr pair
+// (appending them separately would grow the attrs slice twice). The same
+// redaction contract as SetAttr applies.
+func (s *Span) SetAttr2(k1, v1, k2, v2 string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: k1, Value: v1}, Attr{Key: k2, Value: v2})
+	s.mu.Unlock()
+}
+
 // Event records a point event, with optional alternating key/value attrs.
 // Credentials must be redacted first; the tokenflow analyzer treats this
 // as a sink.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/provider"
 	"repro/internal/redact"
 )
 
@@ -19,14 +20,27 @@ import (
 // refuses to follow the final redirect, and scrapes the access token out
 // of the Location fragment — the "view-source" trick of Figure 3.
 type HTTPClient struct {
-	base string
-	http *http.Client
+	base     string
+	prov     provider.Provider
+	maxBatch int
+	http     *http.Client
 }
 
-// NewHTTPClient returns a Client speaking HTTP to the platform at baseURL.
+// NewHTTPClient returns a Client speaking HTTP to the default provider's
+// platform at baseURL.
 func NewHTTPClient(baseURL string) *HTTPClient {
+	return NewHTTPClientFor(provider.Default(), baseURL)
+}
+
+// NewHTTPClientFor returns a Client speaking the given provider's dialect
+// to the platform at baseURL: error codes decode into the provider's kind
+// space and batches chunk at the provider's op cap. baseURL may carry a
+// path prefix (e.g. a Multi mount like http://host/pictogram).
+func NewHTTPClientFor(prov provider.Provider, baseURL string) *HTTPClient {
 	return &HTTPClient{
-		base: strings.TrimRight(baseURL, "/"),
+		base:     strings.TrimRight(baseURL, "/"),
+		prov:     prov,
+		maxBatch: prov.Limits().MaxBatchOps,
 		http: &http.Client{
 			Timeout: 30 * time.Second,
 			CheckRedirect: func(*http.Request, []*http.Request) error {
@@ -36,11 +50,14 @@ func NewHTTPClient(baseURL string) *HTTPClient {
 	}
 }
 
-// RemoteAPIError is a Graph API error received over HTTP.
+// RemoteAPIError is a Graph API error received over HTTP. Code and Type
+// are in the issuing provider's vocabulary; Kind is the provider-neutral
+// classification the receiving client derived from Code.
 type RemoteAPIError struct {
 	Code    int
 	Type    string
 	Message string
+	Kind    provider.ErrKind
 }
 
 // Error implements error.
@@ -48,8 +65,9 @@ func (e *RemoteAPIError) Error() string {
 	return fmt.Sprintf("platform: (#%d) %s: %s", e.Code, e.Type, e.Message)
 }
 
-// apiError decodes a Graph API error envelope into an error value.
-func apiError(resp *http.Response) error {
+// apiError decodes a Graph API error envelope into an error value,
+// classifying the provider-specific code into a neutral kind.
+func (c *HTTPClient) apiError(resp *http.Response) error {
 	var env struct {
 		Error struct {
 			Message string `json:"message"`
@@ -61,7 +79,12 @@ func apiError(resp *http.Response) error {
 	if err := json.Unmarshal(body, &env); err != nil || env.Error.Message == "" {
 		return fmt.Errorf("platform: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	return &RemoteAPIError{Code: env.Error.Code, Type: env.Error.Type, Message: env.Error.Message}
+	return &RemoteAPIError{
+		Code:    env.Error.Code,
+		Type:    env.Error.Type,
+		Message: env.Error.Message,
+		Kind:    c.prov.KindOfCode(env.Error.Code),
+	}
 }
 
 // AuthorizeImplicit implements Client by scraping the token from the
@@ -80,7 +103,7 @@ func (c *HTTPClient) AuthorizeImplicit(appID, redirectURI, accountID string, sco
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusFound {
-		return "", apiError(resp)
+		return "", c.apiError(resp)
 	}
 	loc, err := url.Parse(resp.Header.Get("Location"))
 	if err != nil {
@@ -97,6 +120,61 @@ func (c *HTTPClient) AuthorizeImplicit(appID, redirectURI, accountID string, sco
 		return "", fmt.Errorf("platform: no access_token in redirect %q", redact.URL(loc))
 	}
 	return tok, nil
+}
+
+// AuthorizeCode implements CodeExchanger by walking the dialog with
+// response_type=code and scraping the one-time code from the redirect
+// query. No credential leaks here: the code is single-use and bound to
+// the app, which is why code-flow-only providers resist milking.
+func (c *HTTPClient) AuthorizeCode(appID, redirectURI, accountID string, scopes []string) (string, error) {
+	q := url.Values{}
+	q.Set("client_id", appID)
+	q.Set("redirect_uri", redirectURI)
+	q.Set("response_type", "code")
+	q.Set("account_id", accountID)
+	q.Set("scope", strings.Join(scopes, ","))
+	resp, err := c.http.Get(c.base + "/dialog/oauth?" + q.Encode())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		return "", c.apiError(resp)
+	}
+	loc, err := url.Parse(resp.Header.Get("Location"))
+	if err != nil {
+		return "", err
+	}
+	code := loc.Query().Get("code")
+	if code == "" {
+		return "", fmt.Errorf("platform: no code in redirect %q", redact.URL(loc))
+	}
+	return code, nil
+}
+
+// ExchangeCode implements CodeExchanger against POST /oauth/access_token.
+func (c *HTTPClient) ExchangeCode(appID, appSecret, redirectURI, code string) (string, error) {
+	form := url.Values{
+		"client_id":     {appID},
+		"client_secret": {appSecret},
+		"redirect_uri":  {redirectURI},
+		"code":          {code},
+	}
+	resp, err := c.do(http.MethodPost, "/oauth/access_token", form, "")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", c.apiError(resp)
+	}
+	var body struct {
+		AccessToken string `json:"access_token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	return body.AccessToken, nil
 }
 
 // do performs a form POST (or GET when form is nil) with source-IP
@@ -163,7 +241,7 @@ func (c *HTTPClient) Me(token, ip string) (Profile, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return Profile{}, apiError(resp)
+		return Profile{}, c.apiError(resp)
 	}
 	var body struct {
 		ID      string `json:"id"`
@@ -191,24 +269,20 @@ func (c *HTTPClient) LikeCtx(ctx context.Context, token, objectID, ip string) er
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return c.apiError(resp)
 	}
 	return nil
 }
 
-// maxLikeBatch mirrors the Graph API's 50-operation batch cap; larger
-// bursts are chunked client-side.
-const maxLikeBatch = 50
-
 // LikeBatch implements BatchClient over POST /batch, chunked at the
-// endpoint's 50-op cap. Each op rides as one batched POST /{object}/likes
+// provider's batch-op cap. Each op rides as one batched POST /{object}/likes
 // with its own token, and its source IP travels in the op's source_ip
 // field so attribution survives coalescing. A transport-level failure
 // marks every op of the failed chunk with the same error.
 func (c *HTTPClient) LikeBatch(ctx context.Context, objectID string, ops []BatchLike) []error {
 	errs := make([]error, len(ops))
-	for start := 0; start < len(ops); start += maxLikeBatch {
-		end := start + maxLikeBatch
+	for start := 0; start < len(ops); start += c.maxBatch {
+		end := start + c.maxBatch
 		if end > len(ops) {
 			end = len(ops)
 		}
@@ -251,7 +325,7 @@ func (c *HTTPClient) likeBatchChunk(ctx context.Context, objectID string, ops []
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fail(apiError(resp))
+		fail(c.apiError(resp))
 		return
 	}
 	var results []struct {
@@ -268,13 +342,13 @@ func (c *HTTPClient) likeBatchChunk(ctx context.Context, objectID string, ops []
 	}
 	for i, res := range results {
 		if res.Code != http.StatusOK {
-			errs[i] = batchOpError(res.Code, res.Body)
+			errs[i] = c.batchOpError(res.Code, res.Body)
 		}
 	}
 }
 
 // batchOpError decodes one embedded batch result's error envelope.
-func batchOpError(status int, body string) error {
+func (c *HTTPClient) batchOpError(status int, body string) error {
 	var env struct {
 		Error struct {
 			Message string `json:"message"`
@@ -285,7 +359,12 @@ func batchOpError(status int, body string) error {
 	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error.Message == "" {
 		return fmt.Errorf("platform: HTTP %d: %s", status, strings.TrimSpace(body))
 	}
-	return &RemoteAPIError{Code: env.Error.Code, Type: env.Error.Type, Message: env.Error.Message}
+	return &RemoteAPIError{
+		Code:    env.Error.Code,
+		Type:    env.Error.Type,
+		Message: env.Error.Message,
+		Kind:    c.prov.KindOfCode(env.Error.Code),
+	}
 }
 
 // Comment implements Client.
@@ -302,7 +381,7 @@ func (c *HTTPClient) CommentCtx(ctx context.Context, token, postID, message, ip 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", apiError(resp)
+		return "", c.apiError(resp)
 	}
 	var body struct {
 		ID string `json:"id"`
@@ -322,7 +401,7 @@ func (c *HTTPClient) Publish(token, message, ip string) (string, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", apiError(resp)
+		return "", c.apiError(resp)
 	}
 	var body struct {
 		ID string `json:"id"`
@@ -349,7 +428,7 @@ func (c *HTTPClient) LikesOf(token, objectID string) ([]LikeRecord, error) {
 			return nil, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			err := apiError(resp)
+			err := c.apiError(resp)
 			resp.Body.Close()
 			return nil, err
 		}
@@ -388,7 +467,7 @@ func (c *HTTPClient) FeedOf(token string) ([]PostRecord, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		return nil, c.apiError(resp)
 	}
 	var body struct {
 		Data []struct {
@@ -417,7 +496,7 @@ func (c *HTTPClient) FriendsOf(token, ip string) ([]Profile, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		return nil, c.apiError(resp)
 	}
 	var body struct {
 		Data []struct {
@@ -450,7 +529,7 @@ func (c *HTTPClient) CommentsOf(token, postID string) ([]CommentRecord, error) {
 			return nil, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			err := apiError(resp)
+			err := c.apiError(resp)
 			resp.Body.Close()
 			return nil, err
 		}

@@ -26,17 +26,21 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/oauthsim"
 	"repro/internal/obs"
+	"repro/internal/provider"
 	"repro/internal/simclock"
 	"repro/internal/socialgraph"
 )
 
 // ErrorCode extracts the Graph API error code from an error returned by
 // either Client transport, or 0 when the error is not a Graph API error.
-// Collusion network delivery engines dispatch on this to distinguish dead
-// tokens (invalidate-and-drop) from rate limiting (keep and adapt).
+// The code is in the issuing provider's numeric space; code that talks to
+// more than one platform should dispatch on ErrorKind instead.
 func ErrorCode(err error) int {
 	if code := graphapi.ErrCode(err); code != 0 {
 		return code
+	}
+	if re, ok := err.(*RemoteAPIError); ok {
+		return re.Code
 	}
 	var re *RemoteAPIError
 	if errors.As(err, &re) {
@@ -45,9 +49,29 @@ func ErrorCode(err error) int {
 	return 0
 }
 
+// ErrorKind extracts the provider-neutral error classification from an
+// error returned by either Client transport, or KindNone. Collusion
+// network delivery engines dispatch on this to distinguish dead tokens
+// (invalidate-and-drop) from rate limiting (keep and adapt), identically
+// across platforms whose numeric error spaces differ.
+func ErrorKind(err error) provider.ErrKind {
+	if k := graphapi.ErrKindOf(err); k != provider.KindNone {
+		return k
+	}
+	if re, ok := err.(*RemoteAPIError); ok {
+		return re.Kind
+	}
+	var re *RemoteAPIError
+	if errors.As(err, &re) {
+		return re.Kind
+	}
+	return provider.KindNone
+}
+
 // Platform aggregates all platform-side subsystems.
 type Platform struct {
 	Clock    simclock.Clock
+	Provider provider.Provider
 	Graph    *socialgraph.Store
 	Apps     *apps.Registry
 	OAuth    *oauthsim.Server
@@ -76,16 +100,30 @@ func NewWithShards(clock simclock.Clock, internet *netsim.Internet, shards int) 
 // the scale workload uses to build million-account graphs without
 // incremental map growth.
 func NewSized(clock simclock.Clock, internet *netsim.Internet, shards, accountHint int) *Platform {
+	return NewForSized(provider.Default(), clock, internet, shards, accountHint)
+}
+
+// NewFor assembles a platform speaking the given provider's dialect:
+// token format, grant flows, scopes, error vocabulary, and batch cap.
+// Cross-platform scenarios build one platform per provider over a shared
+// clock and Internet model.
+func NewFor(prov provider.Provider, clock simclock.Clock, internet *netsim.Internet) *Platform {
+	return NewForSized(prov, clock, internet, 0, 0)
+}
+
+// NewForSized is NewFor with explicit shard and account-population hints.
+func NewForSized(prov provider.Provider, clock simclock.Clock, internet *netsim.Internet, shards, accountHint int) *Platform {
 	graph := socialgraph.NewSized(shards, accountHint)
 	registry := apps.NewRegistry()
-	oauth := oauthsim.NewServer(clock, registry, graph)
-	api := graphapi.New(clock, graph, oauth, registry, internet, graphapi.NewChain())
-	observer := obs.New(clock)
+	oauth := oauthsim.NewServerFor(prov, clock, registry, graph)
+	api := graphapi.NewFor(prov, clock, graph, oauth, registry, internet, graphapi.NewChain())
+	observer := obs.NewFor(clock, prov.Name())
 	api.SetObserver(observer)
 	oauth.SetObserver(observer)
 	registerGraphCollectors(observer, graph)
 	return &Platform{
 		Clock:    clock,
+		Provider: prov,
 		Graph:    graph,
 		Apps:     registry,
 		OAuth:    oauth,
@@ -216,6 +254,22 @@ type PostRecord struct {
 	At      time.Time
 }
 
+// CodeExchanger is the optional extension of Client for transports that
+// can drive the authorization-code (server-side) flow: walk the dialog
+// for a one-time code, then swap it for a token by authenticating with
+// the application secret. Providers without an implicit flow — the ones
+// whose tokens cannot be milked from a redirect fragment — are reachable
+// only this way, so a cross-platform collusion network needs a companion
+// app (and its secret) on such a platform to pool tokens there.
+type CodeExchanger interface {
+	// AuthorizeCode walks the dialog with response_type=code and returns
+	// the one-time authorization code from the redirect query.
+	AuthorizeCode(appID, redirectURI, accountID string, scopes []string) (string, error)
+	// ExchangeCode swaps the code for an access token at the token
+	// endpoint, authenticating with the application secret.
+	ExchangeCode(appID, appSecret, redirectURI, code string) (string, error)
+}
+
 // ContextClient is the optional extension of Client for transports that
 // can propagate a trace context into a write: the local transport passes
 // the caller's span through CallContext.Ctx; the HTTP transport carries it
@@ -268,6 +322,31 @@ func (c *LocalClient) AuthorizeImplicit(appID, redirectURI, accountID string, sc
 		return "", err
 	}
 	return res.AccessToken, nil
+}
+
+// AuthorizeCode implements CodeExchanger with a direct dialog call.
+func (c *LocalClient) AuthorizeCode(appID, redirectURI, accountID string, scopes []string) (string, error) {
+	res, err := c.p.OAuth.Authorize(oauthsim.AuthorizeRequest{
+		AppID:        appID,
+		RedirectURI:  redirectURI,
+		ResponseType: oauthsim.ResponseCode,
+		Scopes:       scopes,
+		AccountID:    accountID,
+	})
+	if err != nil {
+		return "", err
+	}
+	return res.Code, nil
+}
+
+// ExchangeCode implements CodeExchanger against the in-process token
+// endpoint.
+func (c *LocalClient) ExchangeCode(appID, appSecret, redirectURI, code string) (string, error) {
+	info, err := c.p.OAuth.ExchangeCode(appID, appSecret, redirectURI, code)
+	if err != nil {
+		return "", err
+	}
+	return info.Token, nil
 }
 
 // Me implements Client.

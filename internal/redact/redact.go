@@ -76,6 +76,14 @@ func String(s string) string {
 	var b strings.Builder
 	i := 0
 	for i < len(s) {
+		// Bare tokens first: a credential pasted into free text has no
+		// key= prefix to anchor on, but every provider's token format has
+		// a recognizable shape (EAAB…, PTGR.….…).
+		if n, isTok := matchBareToken(s[i:]); isTok && !(i > 0 && isWordByte(s[i-1])) {
+			b.WriteString(Token(s[i : i+n]))
+			i += n
+			continue
+		}
 		key, rest, ok := matchSensitiveKey(lower[i:])
 		if !ok || (i > 0 && isWordByte(s[i-1])) {
 			b.WriteByte(s[i])
@@ -119,6 +127,46 @@ func matchSensitiveKey(text string) (keyLen, sepLen int, ok bool) {
 		}
 	}
 	return 0, 0, false
+}
+
+// matchBareToken reports whether text begins with a bare provider access
+// token — one pasted into free text rather than carried in a key=value
+// pair — and returns its length. Shapes, one per registered provider:
+//
+//	EAAB<hex…>            facebook-style opaque token (≥16 hex digits)
+//	PTGR.<24 hex>.<4 hex> pictogram signed token
+func matchBareToken(text string) (int, bool) {
+	if strings.HasPrefix(text, "EAAB") {
+		j := 4
+		for j < len(text) && isHexByte(text[j]) {
+			j++
+		}
+		if j >= 4+16 {
+			return j, true
+		}
+	}
+	if strings.HasPrefix(text, "PTGR.") {
+		const payload, checksum = 24, 4
+		total := 5 + payload + 1 + checksum
+		if len(text) >= total && text[5+payload] == '.' {
+			ok := true
+			for _, r := range []struct{ lo, hi int }{{5, 5 + payload}, {5 + payload + 1, total}} {
+				for j := r.lo; j < r.hi; j++ {
+					if !isHexByte(text[j]) {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				return total, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func isHexByte(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
 }
 
 func isWordByte(c byte) bool {

@@ -1,9 +1,12 @@
 package redact
 
 import (
+	"fmt"
 	"net/url"
 	"strings"
 	"testing"
+
+	"repro/internal/provider"
 )
 
 func TestToken(t *testing.T) {
@@ -100,6 +103,70 @@ func TestStringScrubsKeyValuePairs(t *testing.T) {
 		if got := String(c.in); got != c.want {
 			t.Errorf("String(%q) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+func TestStringMasksBareProviderTokens(t *testing.T) {
+	fb := "EAAB0123456789abcdef0123456789abcdef12"
+	pg := "PTGR.0123456789abcdef01234567.89ab"
+	cases := []struct{ in, want string }{
+		// bare tokens in free text: no key= anchor, shape alone triggers
+		{"collected " + fb + " from member", "collected EAAB01*** from member"},
+		{"exchange failed: " + pg + " rejected", "exchange failed: PTGR.0*** rejected"},
+		// both formats in one line
+		{fb + " vs " + pg, "EAAB01*** vs PTGR.0***"},
+		// inside a URL path (URL() only scrubs query/fragment; String is
+		// the backstop for URLs embedded in log text)
+		{"GET /debug/" + pg + "/check", "GET /debug/PTGR.0***/check"},
+		// word boundary: token-shaped tail of an identifier is untouched
+		{"idEAAB0123456789abcdef0123456789abcdef12", "idEAAB0123456789abcdef0123456789abcdef12"},
+		// too-short hex run is not a facebook token
+		{"EAABdeadbeef done", "EAABdeadbeef done"},
+		// malformed pictogram shapes pass through
+		{"PTGR.tooshort.89ab", "PTGR.tooshort.89ab"},
+		{"PTGR.0123456789abcdef01234567x89ab", "PTGR.0123456789abcdef01234567x89ab"},
+	}
+	for _, c := range cases {
+		if got := String(c.in); got != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Every registered provider's minted tokens must be recognized bare — a
+// new provider whose format escapes String() fails here, not in a log.
+func TestStringMasksMintedTokensAllProviders(t *testing.T) {
+	for _, name := range provider.Names() {
+		prov := provider.MustGet(name)
+		tok := prov.MintToken()
+		for _, tmpl := range []string{
+			"worker got %s for delivery",
+			"error: token %s expired",
+			"redirect https://cb.example/done#%s landed",
+		} {
+			in := fmt.Sprintf(tmpl, tok)
+			got := String(in)
+			if strings.Contains(got, tok) {
+				t.Errorf("provider %s: String(%q) leaked the full token", name, in)
+			}
+			if !strings.Contains(got, Token(tok)) {
+				t.Errorf("provider %s: String(%q) = %q lost the correlation prefix %q",
+					name, in, got, Token(tok))
+			}
+		}
+		// URL query and fragment paths mask the same tokens when keyed.
+		raw := "https://cb.example/done?access_token=" + tok + "#token=" + tok
+		if got := URLString(raw); strings.Contains(got, tok) {
+			t.Errorf("provider %s: URLString leaked: %q", name, got)
+		}
+	}
+}
+
+func TestStringBareTokenIdempotent(t *testing.T) {
+	in := "saw EAAB0123456789abcdef0123456789abcdef12 and PTGR.0123456789abcdef01234567.89ab"
+	once := String(in)
+	if twice := String(once); twice != once {
+		t.Errorf("String not idempotent on bare tokens: %q -> %q", once, twice)
 	}
 }
 
