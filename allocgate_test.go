@@ -1,10 +1,15 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
+	"repro/internal/defense"
+	"repro/internal/graphapi"
+	"repro/internal/oauthsim"
 	"repro/internal/platform"
 	"repro/internal/provider"
 	"repro/internal/simclock"
@@ -132,5 +137,154 @@ func TestAllocGateProviderRoutedValidate(t *testing.T) {
 	// Same budget as the default provider: the TokenInfo copy plus slack.
 	if limit := float64(4); allocs > limit {
 		t.Errorf("pictogram OAuth.Validate = %.0f allocs/run, gate %v", allocs, limit)
+	}
+}
+
+// TestAllocGateAddLikeBatchSteadyState pins the store's batch-apply path
+// at exactly zero allocations per burst once the chunk pools are warm.
+// Each round sweeps the previous round's edges out (returning their
+// chunks to the per-shard free lists) and re-likes the same post, so
+// steady state exercises the full recycle loop: evict → pool → reuse.
+// Unlike TestAllocGateAddLikeBatch above — which tolerates amortized
+// slice growth on a cold store — this gate is strict: any per-op or
+// per-burst heap traffic (a grown slice, a rebuilt map, an escaping
+// closure) is a regression against the chunked-history design.
+func TestAllocGateAddLikeBatchSteadyState(t *testing.T) {
+	const burst = 50
+	graph := socialgraph.NewWithShards(8)
+	graph.SetRetentionWindow(30 * time.Minute)
+	now := benchEpoch
+	accounts := make([]string, burst)
+	for i := range accounts {
+		accounts[i] = graph.CreateAccount("", "IN", now).ID
+	}
+	post, err := graph.CreatePost(accounts[0], "p", socialgraph.WriteMeta{At: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]socialgraph.LikeOp, burst)
+	errs := make([]error, burst)
+	round := func() {
+		now = now.Add(time.Hour)
+		graph.RetentionSweep(now)
+		meta := socialgraph.WriteMeta{SourceIP: "192.0.2.1", At: now}
+		for j, acct := range accounts {
+			ops[j] = socialgraph.LikeOp{AccountID: acct, ObjectID: post.ID, Meta: meta}
+		}
+		graph.AddLikeBatchInto(ops, errs)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the pools: the first rounds grow chunk free lists, history
+	// headers, and map buckets to steady-state size.
+	for i := 0; i < 8; i++ {
+		round()
+	}
+	allocs := testing.AllocsPerRun(10, round)
+	t.Logf("sweep+AddLikeBatchInto(%d ops): %.0f allocs/run", burst, allocs)
+	if allocs != 0 {
+		t.Errorf("steady-state sweep+AddLikeBatchInto(%d ops) = %.0f allocs/run, gate 0", burst, allocs)
+	}
+}
+
+// TestAllocGateStoreDenialErrors pins the store's common like denial
+// kinds at zero allocations: denials are what a defended platform serves
+// a collusion network on nearly every request, so they must return
+// preformatted sentinel errors, never build fmt.Errorf values per call.
+func TestAllocGateStoreDenialErrors(t *testing.T) {
+	graph := socialgraph.NewWithShards(8)
+	now := benchEpoch
+	liker := graph.CreateAccount("liker", "IN", now)
+	susp := graph.CreateAccount("suspended", "IN", now)
+	post, err := graph.CreatePost(liker.ID, "p", socialgraph.WriteMeta{At: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.SetSuspended(susp.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	meta := socialgraph.WriteMeta{At: now}
+	if err := graph.AddLike(liker.ID, post.ID, meta); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"duplicate like", func() error { return graph.AddLike(liker.ID, post.ID, meta) }, socialgraph.ErrAlreadyLiked},
+		{"suspended liker", func() error { return graph.AddLike(susp.ID, post.ID, meta) }, socialgraph.ErrSuspended},
+		{"unknown liker", func() error { return graph.AddLike("4242424242", post.ID, meta) }, socialgraph.ErrNotFound},
+		{"not liked", func() error { return graph.RemoveLike(susp.ID, post.ID) }, socialgraph.ErrNotLiked},
+	}
+	for _, tc := range cases {
+		if err := tc.call(); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if tc.call() == nil {
+				t.Fatalf("%s: denial unexpectedly succeeded", tc.name)
+			}
+		})
+		t.Logf("%s: %.0f allocs/run", tc.name, allocs)
+		if allocs > 0 {
+			t.Errorf("%s = %.0f allocs/run, gate 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestAllocGateGraphAPIDenial pins the full Graph API like path at zero
+// allocations when a rate-limit policy denies the request. Telemetry is
+// detached (nil observer) so the gate measures the API's own work: token
+// validation (shared-scopes TokenInfo), registry lookup (shared app
+// record), policy evaluation (preformatted limiter reasons), and the
+// interned denial error. This is the path a throttled collusion network
+// hammers hardest — the paper's Sec. 6.1 limiter turns nearly the whole
+// offered load into denials.
+func TestAllocGateGraphAPIDenial(t *testing.T) {
+	clock := simclock.NewSimulated(benchEpoch)
+	p := platform.New(clock, nil)
+	p.API.SetObserver(nil)
+	app := p.Apps.Register(apps.Config{
+		Name:              "HTC Sense",
+		RedirectURI:       "https://htc.example/cb",
+		ClientFlowEnabled: true,
+		Lifetime:          apps.LongTerm,
+		Permissions:       []string{apps.PermPublicProfile, apps.PermPublishActions},
+	})
+	acct := p.Graph.CreateAccount("member", "IN", clock.Now())
+	post, err := p.Graph.CreatePost(acct.ID, "p", socialgraph.WriteMeta{At: clock.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.OAuth.Authorize(oauthsim.AuthorizeRequest{
+		AppID:        app.ID,
+		RedirectURI:  app.RedirectURI,
+		ResponseType: oauthsim.ResponseToken,
+		Scopes:       []string{apps.PermPublishActions},
+		AccountID:    acct.ID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.API.Chain().Append(defense.NewTokenRateLimiter(clock, 0, time.Hour))
+	c := graphapi.CallContext{AccessToken: res.AccessToken, SourceIP: "198.51.100.7"}
+	// Warm call: builds and interns the denial error.
+	if err := p.API.Like(c, post.ID); err == nil {
+		t.Fatal("rate-limited like unexpectedly succeeded")
+	} else if got := graphapi.ErrCode(err); got != graphapi.CodeRateLimited {
+		t.Fatalf("denial code = %d, want %d (%v)", got, graphapi.CodeRateLimited, err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if p.API.Like(c, post.ID) == nil {
+			t.Fatal("rate-limited like unexpectedly succeeded")
+		}
+	})
+	t.Logf("rate-limited Like: %.0f allocs/run", allocs)
+	if allocs > 0 {
+		t.Errorf("rate-limited Like = %.0f allocs/run, gate 0", allocs)
 	}
 }

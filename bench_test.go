@@ -341,8 +341,7 @@ func BenchmarkAddLikeBatch(b *testing.B) {
 	}
 	meta := socialgraph.WriteMeta{SourceIP: "192.0.2.1", At: w.clock.Now()}
 	ops := make([]socialgraph.LikeOp, burst)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	round := func() {
 		post, err := graph.CreatePost(w.post.AuthorID, "p", socialgraph.WriteMeta{At: w.clock.Now()})
 		if err != nil {
 			b.Fatal(err)
@@ -355,6 +354,16 @@ func BenchmarkAddLikeBatch(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+	// Warm the per-account state (activity chunk lists, author post index)
+	// before the timer: the delivery hot path this benchmark models runs
+	// against accounts that have liked before, and at -benchtime 1x the
+	// one measured iteration would otherwise be pure cold start.
+	round()
+	round()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
 	}
 	b.ReportMetric(burst, "likes/op")
 }

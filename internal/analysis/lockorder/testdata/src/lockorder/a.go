@@ -7,6 +7,17 @@ import "sync"
 type shard struct {
 	mu   sync.RWMutex
 	data map[string]int
+	// Pooled edge-history state, the chunked-store shape: a map of live
+	// history containers plus an intrusive free list of retired ones.
+	hist map[string]*history
+	free *history
+}
+
+// history is a recyclable per-object container (stand-in for the chunked
+// edge list the real store pools).
+type history struct {
+	n    int
+	next *history
 }
 
 type store struct {
@@ -167,6 +178,67 @@ func (s *store) applyBatchNested(obj string, ids []string) {
 		y.data[id]++
 		y.mu.Unlock()
 	}
+}
+
+// Chunk free-list helpers: historyFor pops a recycled container off the
+// shard free list (or builds one) and installs it in the shard map;
+// retireHistory clears one and pushes it back. Both mutate shard state
+// under the lock their *caller* holds — the //collusionvet:locked
+// annotation records that contract, exactly as the real store's
+// likeHistoryFor/retireLikeHistory pair does.
+//
+//collusionvet:locked
+func (s *store) historyFor(sh *shard, id string) *history {
+	if h := sh.hist[id]; h != nil { // clean: annotated free-list acquire
+		return h
+	}
+	h := sh.free
+	if h != nil {
+		sh.free = h.next
+		h.next = nil
+	} else {
+		h = &history{}
+	}
+	sh.hist[id] = h
+	return h
+}
+
+//collusionvet:locked
+func (s *store) retireHistory(sh *shard, id string) {
+	h := sh.hist[id] // clean: annotated free-list retire
+	if h == nil {
+		return
+	}
+	delete(sh.hist, id)
+	h.n = 0
+	h.next = sh.free
+	sh.free = h
+}
+
+// The same retire logic without the annotation: the analyzer cannot see
+// the caller-holds-lock contract, so the shard-map touches report.
+func (s *store) retireHistoryBare(sh *shard, id string) {
+	h := sh.hist[id] // want `shard map "hist" accessed without acquiring the shard lock`
+	if h == nil {
+		return
+	}
+	delete(sh.hist, id) // want `shard map "hist" accessed without acquiring the shard lock`
+	h.n = 0
+	h.next = sh.free
+	sh.free = h
+}
+
+// A lock scope that drives the pooled helpers end to end is clean: the
+// recycle loop adds no lock traffic of its own.
+func (s *store) churn(id string) int {
+	sh := s.lockIdx(s.idx(id))
+	defer sh.mu.Unlock()
+	h := s.historyFor(sh, id)
+	h.n++
+	if h.n > 8 {
+		s.retireHistory(sh, id)
+	}
+	return h.n
 }
 
 // Inline suppression when the caller pre-sorts indices.

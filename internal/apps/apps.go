@@ -198,7 +198,12 @@ func (r *Registry) Get(id string) (App, error) {
 	if !ok {
 		return App{}, fmt.Errorf("app %q: %w", id, ErrNotFound)
 	}
-	return cloneApp(app), nil
+	// The Permissions slice is built once at Register and never mutated
+	// in place (suspension and security settings touch scalar fields
+	// only), so Get shares it instead of deep-copying: this lookup runs
+	// once per authenticated API call, and the clone was ~20% of the like
+	// pipeline's allocation count. Callers must treat it as read-only.
+	return *app, nil
 }
 
 // SetSuspended suspends or reinstates an app.

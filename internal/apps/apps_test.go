@@ -161,11 +161,18 @@ func TestGetReturnsCopy(t *testing.T) {
 	r := NewRegistry()
 	app := r.Register(cfg("X", 1, 1))
 	got, _ := r.Get(app.ID)
-	got.Permissions[0] = "tampered"
 	got.Name = "tampered"
+	got.Suspended = true
 	fresh, _ := r.Get(app.ID)
-	if fresh.Permissions[0] == "tampered" || fresh.Name == "tampered" {
-		t.Fatal("Get leaked internal state")
+	if fresh.Name == "tampered" || fresh.Suspended {
+		t.Fatal("Get leaked scalar state")
+	}
+	// Permissions is shared deliberately: it is immutable after Register
+	// (Get runs once per authenticated API call, and the deep copy it
+	// used to make was a fifth of the like pipeline's allocations), so
+	// both lookups must see the same backing array.
+	if &got.Permissions[0] != &fresh.Permissions[0] {
+		t.Fatal("Get should share the immutable Permissions array")
 	}
 }
 

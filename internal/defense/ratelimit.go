@@ -123,13 +123,22 @@ func (s *slidingWindow) total(key string) int {
 type TokenRateLimiter struct {
 	mu     sync.RWMutex
 	limit  int
+	reason string // preformatted denial reason for the current limit
 	window *slidingWindow
+}
+
+// tokenLimitReason preformats the denial reason for a cap. Reasons are
+// rebuilt only when the limit changes (construction and SetLimit), so
+// the denial path — which a throttled collusion network hits on nearly
+// every request — formats nothing per call.
+func tokenLimitReason(limit int) string {
+	return fmt.Sprintf("token exceeded %d writes per window", limit)
 }
 
 // NewTokenRateLimiter returns a limiter allowing limit writes per token per
 // window.
 func NewTokenRateLimiter(clock simclock.Clock, limit int, window time.Duration) *TokenRateLimiter {
-	return &TokenRateLimiter{limit: limit, window: newSlidingWindow(clock, window)}
+	return &TokenRateLimiter{limit: limit, reason: tokenLimitReason(limit), window: newSlidingWindow(clock, window)}
 }
 
 // Name implements graphapi.Policy.
@@ -140,6 +149,7 @@ func (l *TokenRateLimiter) Name() string { return "token-rate-limit" }
 func (l *TokenRateLimiter) SetLimit(limit int) {
 	l.mu.Lock()
 	l.limit = limit
+	l.reason = tokenLimitReason(limit)
 	l.mu.Unlock()
 }
 
@@ -156,10 +166,10 @@ func (l *TokenRateLimiter) Evaluate(req graphapi.Request) graphapi.Decision {
 		return graphapi.Allowed()
 	}
 	l.mu.RLock()
-	limit := l.limit
+	limit, reason := l.limit, l.reason
 	l.mu.RUnlock()
 	if !l.window.allow(req.Token.Token, limit) {
-		return graphapi.Denied(l.Name(), fmt.Sprintf("token exceeded %d writes per window", limit))
+		return graphapi.Denied(l.Name(), reason)
 	}
 	return graphapi.Allowed()
 }
@@ -171,17 +181,25 @@ type IPRateLimiter struct {
 	mu          sync.RWMutex
 	dailyLimit  int
 	weeklyLimit int
-	daily       *slidingWindow
-	weekly      *slidingWindow
+	// Preformatted denial reasons. They name the limit but not the IP:
+	// the denied request already carries its source IP (and the denial
+	// counters are keyed by policy), so repeating it in the reason bought
+	// nothing except a Sprintf per denial on the hottest defense path.
+	dailyReason  string
+	weeklyReason string
+	daily        *slidingWindow
+	weekly       *slidingWindow
 }
 
 // NewIPRateLimiter returns a limiter with the given daily and weekly caps.
 func NewIPRateLimiter(clock simclock.Clock, dailyLimit, weeklyLimit int) *IPRateLimiter {
 	return &IPRateLimiter{
-		dailyLimit:  dailyLimit,
-		weeklyLimit: weeklyLimit,
-		daily:       newSlidingWindow(clock, 24*time.Hour),
-		weekly:      newSlidingWindow(clock, 7*24*time.Hour),
+		dailyLimit:   dailyLimit,
+		weeklyLimit:  weeklyLimit,
+		dailyReason:  fmt.Sprintf("IP exceeded %d likes/day", dailyLimit),
+		weeklyReason: fmt.Sprintf("IP exceeded %d likes/week", weeklyLimit),
+		daily:        newSlidingWindow(clock, 24*time.Hour),
+		weekly:       newSlidingWindow(clock, 7*24*time.Hour),
 	}
 }
 
@@ -197,13 +215,13 @@ func (l *IPRateLimiter) Evaluate(req graphapi.Request) graphapi.Decision {
 	dl, wl := l.dailyLimit, l.weeklyLimit
 	l.mu.RUnlock()
 	if !l.daily.allow(req.SourceIP, dl) {
-		return graphapi.Denied(l.Name(), fmt.Sprintf("IP %s exceeded %d likes/day", req.SourceIP, dl))
+		return graphapi.Denied(l.Name(), l.dailyReason)
 	}
 	if !l.weekly.allow(req.SourceIP, wl) {
 		// The daily admission above is not rolled back: the like was
 		// denied overall, but Facebook-style layered limits charge the
 		// innermost accepted layer; the discrepancy is one event.
-		return graphapi.Denied(l.Name(), fmt.Sprintf("IP %s exceeded %d likes/week", req.SourceIP, wl))
+		return graphapi.Denied(l.Name(), l.weeklyReason)
 	}
 	return graphapi.Allowed()
 }

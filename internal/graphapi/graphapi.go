@@ -217,10 +217,17 @@ func ErrKindOf(err error) provider.ErrKind {
 // vocabulary can rename it. The default provider maps both identically,
 // which keeps its wire behavior bit-for-bit what it always was.
 func (a *API) err(k provider.ErrKind, typ, format string, args ...any) error {
+	return a.errMsg(k, typ, fmt.Sprintf(format, args...))
+}
+
+// errMsg is err with a ready-made message: no Sprintf, so error paths
+// whose message is constant (or already formatted, like the oauth
+// server's preformatted invalidation errors) skip the formatter.
+func (a *API) errMsg(k provider.ErrKind, typ, msg string) error {
 	return &APIError{
 		Code:    a.prov.ErrorCode(k),
 		Type:    a.prov.ErrorType(k, typ),
-		Message: fmt.Sprintf(format, args...),
+		Message: msg,
 		Kind:    k,
 	}
 }
@@ -250,7 +257,25 @@ type API struct {
 	defenseActions *obs.CounterVec   // defense_actions_total{countermeasure,action}
 	allocs         *obs.AllocMeter   // allocs_per_op{platform,op} windows on the hot paths
 	opInst         [numOps]opInstruments
+
+	// Preallocated denial errors in this provider's vocabulary, built
+	// once at construction: duplicate likes and suspended accounts are
+	// the denials collusion traffic hits by the thousand, and policy
+	// denials are interned per (policy, reason) — with the rate limiters'
+	// preformatted reasons the cache stays a handful of entries, and the
+	// cap guards against a pathological high-cardinality custom policy.
+	errDuplicate   error
+	errSuspended   error
+	errAppNotFound error
+	denialMu       sync.RWMutex
+	denialCache    map[denialKey]error
 }
+
+// denialKey interns one policy denial shape.
+type denialKey struct{ policy, reason string }
+
+// maxCachedDenials bounds the denial-error intern table.
+const maxCachedDenials = 256
 
 // opInstruments prebinds the success-path series for one operation so
 // finish skips the per-call label lookup (a mutex plus a map probe) on
@@ -302,7 +327,7 @@ func NewFor(prov provider.Provider, clock simclock.Clock, graph *socialgraph.Sto
 	if chain == nil {
 		chain = NewChain()
 	}
-	return &API{
+	a := &API{
 		clock:        clock,
 		graph:        graph,
 		oauth:        oauth,
@@ -313,7 +338,12 @@ func NewFor(prov provider.Provider, clock simclock.Clock, graph *socialgraph.Sto
 		provName:     prov.Name(),
 		scopePublish: prov.ScopePublish(),
 		scopeFriends: prov.ScopeFriends(),
+		denialCache:  make(map[denialKey]error),
 	}
+	a.errDuplicate = a.errMsg(provider.KindDuplicate, "GraphMethodException", "duplicate like")
+	a.errSuspended = a.errMsg(provider.KindAccountSuspended, "OAuthException", "account suspended")
+	a.errAppNotFound = a.errMsg(provider.KindInvalidToken, "OAuthException", "application not found")
+	return a
 }
 
 // Provider returns the platform identity this API speaks for.
@@ -459,7 +489,9 @@ func (a *API) authenticateMemo(ctx context.Context, c CallContext, verb Verb, ne
 	info, err := a.oauth.Validate(c.AccessToken)
 	if err != nil {
 		span.Event("invalid-token")
-		return Request{}, a.err(provider.KindInvalidToken, "OAuthException", "%v", err)
+		// The oauth server's denial errors are preformatted (sentinels or
+		// per-token invalidation values), so Error() here is a field read.
+		return Request{}, a.errMsg(provider.KindInvalidToken, "OAuthException", err.Error())
 	}
 	if span != nil {
 		span.SetAttr("app", info.AppID)
@@ -472,7 +504,7 @@ func (a *API) authenticateMemo(ctx context.Context, c CallContext, verb Verb, ne
 		app, err = a.registry.Get(info.AppID)
 	}
 	if err != nil {
-		return Request{}, a.err(provider.KindInvalidToken, "OAuthException", "application not found")
+		return Request{}, a.errAppNotFound
 	}
 	if app.Suspended {
 		return Request{}, a.err(provider.KindAppSuspended, "OAuthException", "application %s is disabled", app.ID)
@@ -545,11 +577,11 @@ func (a *API) likeWriteError(writeErr error, objectID string) error {
 	case writeErr == nil:
 		return nil
 	case errors.Is(writeErr, socialgraph.ErrAlreadyLiked):
-		return a.err(provider.KindDuplicate, "GraphMethodException", "duplicate like")
+		return a.errDuplicate
 	case errors.Is(writeErr, socialgraph.ErrSuspended):
-		return a.err(provider.KindAccountSuspended, "OAuthException", "account suspended")
+		return a.errSuspended
 	case errors.Is(writeErr, socialgraph.ErrInvalidReference), errors.Is(writeErr, socialgraph.ErrNotFound):
-		return a.err(provider.KindNotFound, "GraphMethodException", "unknown object %s", objectID)
+		return a.errMsg(provider.KindNotFound, "GraphMethodException", "unknown object "+objectID)
 	default:
 		return a.err(provider.KindInvalidParam, "GraphMethodException", "%v", writeErr)
 	}
@@ -607,7 +639,7 @@ func (a *API) Comment(c CallContext, postID, message string) (_ socialgraph.Comm
 	case writeErr == nil:
 		return cm, nil
 	case errors.Is(writeErr, socialgraph.ErrSuspended):
-		return socialgraph.Comment{}, a.err(provider.KindAccountSuspended, "OAuthException", "account suspended")
+		return socialgraph.Comment{}, a.errSuspended
 	case errors.Is(writeErr, socialgraph.ErrNotFound):
 		return socialgraph.Comment{}, a.err(provider.KindNotFound, "GraphMethodException", "unknown post %s", postID)
 	case errors.Is(writeErr, socialgraph.ErrEmptyMessage):
@@ -635,7 +667,7 @@ func (a *API) Publish(c CallContext, message string) (_ socialgraph.Post, err er
 	case err == nil:
 		return p, nil
 	case errors.Is(err, socialgraph.ErrSuspended):
-		return socialgraph.Post{}, a.err(provider.KindAccountSuspended, "OAuthException", "account suspended")
+		return socialgraph.Post{}, a.errSuspended
 	case errors.Is(err, socialgraph.ErrEmptyMessage):
 		return socialgraph.Post{}, a.err(provider.KindInvalidParam, "GraphMethodException", "empty message")
 	default:
@@ -722,10 +754,33 @@ func (a *API) CommentsPage(c CallContext, postID string, after, limit int) (page
 	return page, next, more, nil
 }
 
+// denialError maps a policy denial to an API error. Denials are the
+// common case once a defense engages — a throttled collusion network is
+// denied on nearly every request — so the errors are interned by
+// (policy, reason): the rate limiters preformat their reasons, giving a
+// handful of distinct shapes that hit the cache after first build. The
+// table is bounded at maxCachedDenials so a policy that embeds
+// per-request detail in its reason (e.g. the AS blocker naming the app)
+// degrades to allocating, never to unbounded growth.
 func (a *API) denialError(d Decision) error {
+	key := denialKey{policy: d.Policy, reason: d.Reason}
+	a.denialMu.RLock()
+	err, ok := a.denialCache[key]
+	a.denialMu.RUnlock()
+	if ok {
+		return err
+	}
 	k := provider.KindBlocked
 	if d.Policy == "token-rate-limit" || d.Policy == "ip-rate-limit" {
 		k = provider.KindRateLimited
 	}
-	return a.err(k, "PolicyException", "denied by %s: %s", d.Policy, d.Reason)
+	err = a.err(k, "PolicyException", "denied by %s: %s", d.Policy, d.Reason)
+	a.denialMu.Lock()
+	if cached, ok := a.denialCache[key]; ok {
+		err = cached
+	} else if len(a.denialCache) < maxCachedDenials {
+		a.denialCache[key] = err
+	}
+	a.denialMu.Unlock()
+	return err
 }

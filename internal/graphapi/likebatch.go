@@ -3,6 +3,7 @@ package graphapi
 import (
 	"context"
 	"strconv"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/netsim"
@@ -47,6 +48,54 @@ type memoASN struct {
 
 func newBatchMemo() *batchMemo {
 	return &batchMemo{apps: make(map[string]memoApp, 2), asns: make(map[string]memoASN, 8)}
+}
+
+// batchScratch is LikeBatch's reusable working set: the apply queue, its
+// index map, the store's write-error slice, and the memo maps. Pooled so
+// a sustained burst stream (the scale loadgen drives thousands of
+// batches per simulated day) reuses one allocation per worker instead of
+// five per call. errs is NOT pooled — it is returned to the caller.
+type batchScratch struct {
+	apply     []socialgraph.LikeOp
+	applyIdx  []int
+	writeErrs []error
+	memo      batchMemo
+}
+
+// scratchPool recycles batchScratch values. A sync.Pool (unlike the
+// store's shard-local free lists) is the right shape here: batches
+// arrive on arbitrary goroutines, and the GC occasionally reclaiming an
+// idle scratch only costs a re-allocation — LikeBatch's gate budgets for
+// the returned errs slice, not for scratch reuse being perfect.
+var scratchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		memo: batchMemo{apps: make(map[string]memoApp, 2), asns: make(map[string]memoASN, 8)},
+	}
+}}
+
+// get returns scratch with empty slices (capacity retained) and cleared
+// memo maps, sized for n ops.
+func getScratch(n int) *batchScratch {
+	s := scratchPool.Get().(*batchScratch)
+	if cap(s.apply) < n {
+		s.apply = make([]socialgraph.LikeOp, 0, n)
+		s.applyIdx = make([]int, 0, n)
+		s.writeErrs = make([]error, n)
+	}
+	s.apply = s.apply[:0]
+	s.applyIdx = s.applyIdx[:0]
+	return s
+}
+
+// put clears the scratch's pointer-bearing state (tokens, app records,
+// write errors must not outlive the batch in a pool) and recycles it.
+func putScratch(s *batchScratch) {
+	clear(s.apply[:cap(s.apply)])
+	clear(s.applyIdx[:cap(s.applyIdx)])
+	clear(s.writeErrs[:cap(s.writeErrs)])
+	clear(s.memo.apps)
+	clear(s.memo.asns)
+	scratchPool.Put(s)
 }
 
 func (m *batchMemo) app(r *apps.Registry, id string) (apps.App, error) {
@@ -103,10 +152,13 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 
 	// Phase 1: authenticate and policy-check every op in order. Ops that
 	// clear the chain queue for the store apply; the rest already carry
-	// their error.
-	apply := make([]socialgraph.LikeOp, 0, len(ops))
-	applyIdx := make([]int, 0, len(ops))
-	memo := newBatchMemo()
+	// their error. All working slices and the memo come from the scratch
+	// pool.
+	scratch := getScratch(len(ops))
+	defer putScratch(scratch)
+	apply := scratch.apply
+	applyIdx := scratch.applyIdx
+	memo := &scratch.memo
 	for i, op := range ops {
 		opCtx := ctx
 		if i > 0 {
@@ -139,7 +191,8 @@ func (a *API) LikeBatch(ctx context.Context, objectID string, ops []BatchLikeOp)
 			aspan.SetAttr("ops", strconv.Itoa(len(apply)))
 		}
 		bs := a.allocs.Begin(ctx, "shard.apply")
-		writeErrs := a.graph.AddLikeBatch(apply)
+		writeErrs := scratch.writeErrs[:len(apply)]
+		a.graph.AddLikeBatchInto(apply, writeErrs)
 		bs.End(len(apply))
 		aspan.EndAt(start)
 		for j, we := range writeErrs {

@@ -74,6 +74,10 @@ type TokenInfo struct {
 	Token     string
 	AccountID string
 	AppID     string
+	// Scopes is built once at issuance and read-only thereafter; Validate
+	// hands the same backing array to every caller. Callers must not
+	// mutate it — the copy-per-validation this replaces was a third of
+	// the like pipeline's allocation count.
 	Scopes    []string
 	IssuedAt  time.Time
 	ExpiresAt time.Time
@@ -81,6 +85,11 @@ type TokenInfo struct {
 	// Reason records the countermeasure responsible.
 	Invalidated   bool
 	InvalidReason string
+
+	// invalidErr is the preformatted Validate error for a revoked token,
+	// built once at invalidation so the (very hot, post-intervention)
+	// invalidated-token denial allocates nothing per call.
+	invalidErr error
 }
 
 // HasScope reports whether the token grants the permission.
@@ -381,14 +390,17 @@ func (s *Server) Validate(token string) (TokenInfo, error) {
 		return TokenInfo{}, ErrTokenNotFound
 	}
 	if info.Invalidated {
-		return TokenInfo{}, fmt.Errorf("%w (%s)", ErrTokenInvalidated, info.InvalidReason)
+		if info.invalidErr != nil {
+			return TokenInfo{}, info.invalidErr
+		}
+		return TokenInfo{}, ErrTokenInvalidated
 	}
 	if s.clock.Now().After(info.ExpiresAt) {
 		return TokenInfo{}, ErrTokenExpired
 	}
-	out := *info
-	out.Scopes = append([]string(nil), info.Scopes...)
-	return out, nil
+	// The returned record shares the issuance-time Scopes array (see
+	// TokenInfo); validation itself allocates nothing.
+	return *info, nil
 }
 
 // Invalidate administratively revokes a token. Revoking an unknown token is
@@ -402,6 +414,7 @@ func (s *Server) Invalidate(token, reason string) bool {
 	}
 	info.Invalidated = true
 	info.InvalidReason = reason
+	info.invalidErr = fmt.Errorf("%w (%s)", ErrTokenInvalidated, reason)
 	s.mu.Unlock()
 	s.invalidated.Inc(reason)
 	return true
@@ -412,11 +425,16 @@ func (s *Server) Invalidate(token, reason string) bool {
 func (s *Server) InvalidateAccount(accountID, reason string) int {
 	s.mu.Lock()
 	n := 0
+	var invalidErr error // shared by every token revoked for this reason
 	for token := range s.byAccount[accountID] {
 		info := s.tokens[token]
 		if info != nil && !info.Invalidated {
+			if invalidErr == nil {
+				invalidErr = fmt.Errorf("%w (%s)", ErrTokenInvalidated, reason)
+			}
 			info.Invalidated = true
 			info.InvalidReason = reason
+			info.invalidErr = invalidErr
 			n++
 		}
 	}

@@ -1,5 +1,7 @@
 package socialgraph
 
+import "slices"
+
 // Batched like apply. A collusion-network burst is hundreds of likes on
 // one object, which under sequential AddLike costs two lock scopes per
 // action. AddLikeBatch amortises that: ops are split into maximal
@@ -24,6 +26,15 @@ type LikeOp struct {
 // AddLike(op.AccountID, op.ObjectID, op.Meta) for each op in sequence.
 func (s *Store) AddLikeBatch(ops []LikeOp) []error {
 	errs := make([]error, len(ops))
+	s.AddLikeBatchInto(ops, errs)
+	return errs
+}
+
+// AddLikeBatchInto is AddLikeBatch writing per-op errors into a
+// caller-provided slice (len(errs) must be >= len(ops)), so callers that
+// pool their batch scratch (graphapi.LikeBatch, the loadgen) keep the
+// whole apply allocation-free. Entries [0, len(ops)) are overwritten.
+func (s *Store) AddLikeBatchInto(ops []LikeOp, errs []error) {
 	for start := 0; start < len(ops); {
 		objIdx := s.shardIndex(ops[start].ObjectID)
 		end := start + 1
@@ -33,22 +44,45 @@ func (s *Store) AddLikeBatch(ops []LikeOp) []error {
 		s.applyLikeRun(ops[start:end], errs[start:end], objIdx)
 		start = end
 	}
-	return errs
 }
 
 // applyLikeRun applies one run of likes whose objects live on stripe
-// objIdx under a single lock scope.
+// objIdx under a single lock scope: the object stripe plus every liker's
+// account stripe, deduplicated and acquired in ascending index order —
+// the batch generalisation of addLikePair, held inline for the same
+// reason (no unlock closure, no heap escape). The stripe set lives in a
+// stack buffer for every batch the API layer emits (cap 50).
+//
+//collusionvet:lockorder
 func (s *Store) applyLikeRun(run []LikeOp, errs []error, objIdx int) {
-	idxs := make([]int, 0, len(run)+1)
+	var buf [64]int
+	idxs := buf[:0]
+	if len(run)+1 > len(buf) {
+		idxs = make([]int, 0, len(run)+1)
+	}
 	idxs = append(idxs, objIdx)
 	for i := range run {
 		idxs = append(idxs, s.shardIndex(run[i].AccountID))
 	}
-	unlock := s.lockOrderedIdx(idxs)
-	defer unlock()
+	slices.Sort(idxs)
+	// Compact duplicates in place so each stripe locks exactly once.
+	n := 1
+	for i := 1; i < len(idxs); i++ {
+		if idxs[i] != idxs[n-1] {
+			idxs[n] = idxs[i]
+			n++
+		}
+	}
+	idxs = idxs[:n]
+	for _, i := range idxs {
+		s.lockIdx(i)
+	}
 	objShard := s.shards[objIdx]
 	for i := range run {
 		op := &run[i]
 		errs[i] = likeLocked(s.shards[s.shardIndex(op.AccountID)], objShard, op.AccountID, op.ObjectID, op.Meta)
+	}
+	for i := len(idxs) - 1; i >= 0; i-- {
+		s.shards[idxs[i]].mu.Unlock()
 	}
 }

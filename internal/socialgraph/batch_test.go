@@ -149,22 +149,40 @@ func TestAddLikeBatchEmpty(t *testing.T) {
 	}
 }
 
-// TestLockOrderedIdx exercises the batch lock helper directly: duplicate
-// and descending indexes must collapse into one ascending acquisition
-// pass, and the unlock function must release every stripe.
-func TestLockOrderedIdx(t *testing.T) {
+// TestApplyLikeRunLockScope exercises the batch lock scope directly:
+// duplicate stripes across the object and the run's likers must collapse
+// into one ascending acquisition pass (counted via the contention
+// counters), and every stripe must be released on exit.
+func TestApplyLikeRunLockScope(t *testing.T) {
 	s := NewWithShards(8)
-	acqBefore, _ := s.Contention().Totals()
-	unlock := s.lockOrderedIdx([]int{5, 1, 5, 0, 1})
-	acqAfter, _ := s.Contention().Totals()
-	if got := acqAfter - acqBefore; got != 3 {
-		t.Fatalf("lockOrderedIdx acquired %d stripes, want 3 (dedup of {5,1,0})", got)
+	run := []LikeOp{
+		{AccountID: "liker-a", ObjectID: "obj-x"},
+		{AccountID: "liker-b", ObjectID: "obj-x"},
+		{AccountID: "liker-a", ObjectID: "obj-x"}, // duplicate stripe
 	}
-	unlock()
+	objIdx := s.shardIndex("obj-x")
+	want := map[int]bool{objIdx: true}
+	for _, op := range run {
+		want[s.shardIndex(op.AccountID)] = true
+	}
+	errs := make([]error, len(run))
+	acqBefore, _ := s.Contention().Totals()
+	s.applyLikeRun(run, errs, objIdx)
+	acqAfter, _ := s.Contention().Totals()
+	if got := acqAfter - acqBefore; got != int64(len(want)) {
+		t.Fatalf("applyLikeRun acquired %d stripes, want %d (dedup)", got, len(want))
+	}
+	for _, err := range errs {
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("applyLikeRun on unknown likers = %v, want ErrNotFound", err)
+		}
+	}
 	// Every stripe must be free again: a full relock would deadlock
 	// otherwise.
-	unlock2 := s.lockOrderedIdx([]int{0, 1, 2, 3, 4, 5, 6, 7})
-	unlock2()
+	for i := 0; i < s.ShardCount(); i++ {
+		sh := s.lockIdx(i)
+		sh.mu.Unlock()
+	}
 }
 
 // FuzzAddLikeBatchGrouping derives a like batch from arbitrary bytes —

@@ -1,7 +1,6 @@
 package socialgraph
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/metrics"
@@ -74,58 +73,49 @@ func (s *Store) RetentionSweep(now time.Time) SweepResult {
 // evictBefore drops this stripe's likes, comments, and activity entries
 // with At strictly before cutoff. Timestamps within an object's history
 // are not necessarily monotone (organic workloads scatter At within a
-// day), so eviction filters by value rather than trimming a prefix. The
-// caller must hold the shard's write lock.
+// day), so eviction filters by value rather than trimming a prefix.
+// Survivors compact in place and whole evicted chunks return to the
+// shard pools (see chunkList.filter) — the sweep itself allocates
+// nothing, and it is what refills the free lists that keep steady-state
+// writes allocation-free. The caller must hold the shard's write lock.
 //
 //collusionvet:locked
 func (sh *shard) evictBefore(cutoff time.Time) (likes, comments, activities int64) {
-	for obj, refs := range sh.likeOrder {
-		set := sh.likesByObject[obj]
-		kept := refs[:0]
-		for _, ref := range refs {
+	for obj, h := range sh.likes {
+		set := h.set
+		likes += int64(h.order.filter(&sh.edges, func(ref *edgeRef) bool {
 			if l, ok := set[ref.id]; ok && l.At.Before(cutoff) {
 				delete(set, ref.id)
-				likes++
-				continue
+				return false
 			}
-			kept = append(kept, ref)
-		}
-		if len(kept) == 0 {
-			delete(sh.likeOrder, obj)
-			delete(sh.likesByObject, obj)
-		} else {
-			sh.likeOrder[obj] = kept
+			return true
+		}))
+		if h.order.total == 0 {
+			sh.retireLikeHistory(obj, h)
 		}
 	}
-	for post, refs := range sh.commentsByPost {
-		kept := refs[:0]
-		for _, ref := range refs {
+	for post, l := range sh.commentOrder {
+		comments += int64(l.filter(&sh.edges, func(ref *edgeRef) bool {
 			if c, ok := sh.comments[ref.id]; ok && c.At.Before(cutoff) {
 				delete(sh.comments, ref.id)
-				comments++
-				continue
+				sh.retireComment(c)
+				return false
 			}
-			kept = append(kept, ref)
-		}
-		if len(kept) == 0 {
-			delete(sh.commentsByPost, post)
-		} else {
-			sh.commentsByPost[post] = kept
+			return true
+		}))
+		if l.total == 0 {
+			// filter already released the chunks; pool the header too.
+			sh.freeEdgeList = append(sh.freeEdgeList, l)
+			delete(sh.commentOrder, post)
 		}
 	}
-	for acct, log := range sh.activity {
-		kept := log[:0]
-		for _, act := range log {
-			if act.At.Before(cutoff) {
-				activities++
-				continue
-			}
-			kept = append(kept, act)
-		}
-		if len(kept) == 0 {
+	for acct, l := range sh.activity {
+		activities += int64(l.filter(&sh.acts, func(a *Activity) bool {
+			return !a.At.Before(cutoff)
+		}))
+		if l.total == 0 {
+			sh.freeActList = append(sh.freeActList, l)
 			delete(sh.activity, acct)
-		} else {
-			sh.activity[acct] = kept
 		}
 	}
 	return likes, comments, activities
@@ -145,12 +135,12 @@ func (s *Store) RetainedEdges() EdgeStats {
 	var st EdgeStats
 	for i := range s.shards {
 		sh := s.rlockIdx(i)
-		for _, likes := range sh.likesByObject {
-			st.Likes += int64(len(likes))
+		for _, h := range sh.likes {
+			st.Likes += int64(len(h.set))
 		}
 		st.Comments += int64(len(sh.comments))
-		for _, log := range sh.activity {
-			st.Activities += int64(len(log))
+		for _, l := range sh.activity {
+			st.Activities += int64(l.total)
 		}
 		sh.mu.RUnlock()
 	}
@@ -167,20 +157,35 @@ func (s *Store) RetainedEdges() EdgeStats {
 func (s *Store) LikesPage(objectID string, after, limit int) (page []Like, next int, more bool) {
 	sh := s.rlock(objectID)
 	defer sh.mu.RUnlock()
-	refs := sh.likeOrder[objectID]
-	set := sh.likesByObject[objectID]
-	start := sort.Search(len(refs), func(i int) bool { return refs[i].seq >= after })
-	end := len(refs)
-	if limit > 0 && start+limit < end {
-		end = start + limit
+	h, ok := sh.likes[objectID]
+	if !ok {
+		return nil, 0, false
 	}
-	for _, ref := range refs[start:end] {
-		if l, ok := set[ref.id]; ok {
-			page = append(page, l)
+	// searchEdges skips whole chunks below the cursor (sequences are
+	// strictly ascending across the list), then the page walks entries by
+	// absolute position — the same position-window semantics the flat
+	// slice had.
+	c, i, pos := searchEdges(&h.order, after)
+	end := h.order.total
+	if limit > 0 && pos+limit < end {
+		end = pos + limit
+	}
+	for c != nil && pos < end {
+		for i < c.n && pos < end {
+			if l, ok := h.set[c.buf[i].id]; ok {
+				page = append(page, l)
+			}
+			pos++
+			i++
+		}
+		if i == c.n {
+			c, i = c.next, 0
 		}
 	}
-	if end < len(refs) {
-		return page, refs[end].seq, true
+	if pos < h.order.total {
+		// c/i rest on the first entry past the page (chunks are never
+		// empty, so a chunk-boundary stop landed on a real entry).
+		return page, c.buf[i].seq, true
 	}
 	return page, 0, false
 }
@@ -192,19 +197,29 @@ func (s *Store) LikesPage(objectID string, after, limit int) (page []Like, next 
 func (s *Store) CommentsPage(postID string, after, limit int) (page []Comment, next int, more bool) {
 	sh := s.rlock(postID)
 	defer sh.mu.RUnlock()
-	refs := sh.commentsByPost[postID]
-	start := sort.Search(len(refs), func(i int) bool { return refs[i].seq >= after })
-	end := len(refs)
-	if limit > 0 && start+limit < end {
-		end = start + limit
+	l, ok := sh.commentOrder[postID]
+	if !ok {
+		return nil, 0, false
 	}
-	for _, ref := range refs[start:end] {
-		if c, ok := sh.comments[ref.id]; ok {
-			page = append(page, *c)
+	c, i, pos := searchEdges(l, after)
+	end := l.total
+	if limit > 0 && pos+limit < end {
+		end = pos + limit
+	}
+	for c != nil && pos < end {
+		for i < c.n && pos < end {
+			if rec, ok := sh.comments[c.buf[i].id]; ok {
+				page = append(page, *rec)
+			}
+			pos++
+			i++
+		}
+		if i == c.n {
+			c, i = c.next, 0
 		}
 	}
-	if end < len(refs) {
-		return page, refs[end].seq, true
+	if pos < l.total {
+		return page, c.buf[i].seq, true
 	}
 	return page, 0, false
 }

@@ -2,7 +2,6 @@ package socialgraph
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 )
 
@@ -37,26 +36,48 @@ type edgeRef struct {
 	id  string
 }
 
-// shard is one lock stripe of the store. Field meanings match the
-// reference store's maps exactly; each shard holds only the keys that
-// hash to it.
+// likeHistory is one object's like state: the idempotency set and the
+// chunked arrival order, kept together so the hot write path pays one
+// map probe instead of two. Evicting an object's last like retires the
+// whole history to the shard's free list with its (cleared) set map, so
+// re-liking a swept object allocates neither.
+type likeHistory struct {
+	set   map[string]Like
+	order edgeList
+}
+
+// shard is one lock stripe of the store. Observable semantics match the
+// reference store's flat maps exactly; each shard holds only the keys
+// that hash to it. Edge history (like order, comment order, activity
+// logs) lives in chunked lists drawn from the shard-local pools below —
+// see chunk.go for the memory model.
 type shard struct {
-	mu             sync.RWMutex
-	accounts       map[string]*Account
-	pages          map[string]*Page
-	posts          map[string]*Post
-	comments       map[string]*Comment
-	likesByObject  map[string]map[string]Like
-	likeOrder      map[string][]edgeRef
-	postsByAuthor  map[string][]string
-	commentsByPost map[string][]edgeRef
-	activity       map[string][]Activity
-	friends        map[string]map[string]bool
+	mu            sync.RWMutex
+	accounts      map[string]*Account
+	pages         map[string]*Page
+	posts         map[string]*Post
+	comments      map[string]*Comment
+	likes         map[string]*likeHistory
+	postsByAuthor map[string][]string
+	commentOrder  map[string]*edgeList
+	activity      map[string]*activityList
+	friends       map[string]map[string]bool
 	// likeSeq and commentSeq hold each object's next arrival sequence.
 	// They outlive the edges themselves (an object whose whole history
 	// ages out keeps its counter) so sequences stay monotone forever.
 	likeSeq    map[string]int
 	commentSeq map[string]int
+
+	// Shard-local free lists, touched only under mu. edges feeds both
+	// like-order and comment-order lists (same entry class); retired
+	// container headers are pooled alongside so a fully evicted object,
+	// post, or account costs nothing to repopulate.
+	edges        edgePool
+	acts         activityPool
+	freeHist     []*likeHistory
+	freeEdgeList []*edgeList
+	freeActList  []*activityList
+	freeComments []*Comment
 }
 
 func newShard() *shard { return newShardSized(0) }
@@ -67,19 +88,120 @@ func newShard() *shard { return newShardSized(0) }
 // repeated incremental map growth this way.
 func newShardSized(hint int) *shard {
 	return &shard{
-		accounts:       make(map[string]*Account, hint),
-		pages:          make(map[string]*Page),
-		posts:          make(map[string]*Post),
-		comments:       make(map[string]*Comment),
-		likesByObject:  make(map[string]map[string]Like),
-		likeOrder:      make(map[string][]edgeRef),
-		postsByAuthor:  make(map[string][]string),
-		commentsByPost: make(map[string][]edgeRef),
-		activity:       make(map[string][]Activity),
-		friends:        make(map[string]map[string]bool),
-		likeSeq:        make(map[string]int),
-		commentSeq:     make(map[string]int),
+		accounts:      make(map[string]*Account, hint),
+		pages:         make(map[string]*Page),
+		posts:         make(map[string]*Post),
+		comments:      make(map[string]*Comment),
+		likes:         make(map[string]*likeHistory),
+		postsByAuthor: make(map[string][]string),
+		commentOrder:  make(map[string]*edgeList),
+		activity:      make(map[string]*activityList),
+		friends:       make(map[string]map[string]bool),
+		likeSeq:       make(map[string]int),
+		commentSeq:    make(map[string]int),
+		edges:         edgePool{cap: edgeChunkCap},
+		acts:          activityPool{cap: activityChunkCap},
 	}
+}
+
+// Pooled-container helpers. Each returns (or retires) a chunked-history
+// container through the shard's free lists; all of them touch shard
+// state and require the shard's write lock — the same caller-holds-lock
+// contract likeLocked documents.
+
+// likeHistoryFor returns objectID's like history, reusing a retired one
+// (its set map arrives cleared) before allocating.
+//
+//collusionvet:locked
+func (sh *shard) likeHistoryFor(objectID string) *likeHistory {
+	if h, ok := sh.likes[objectID]; ok {
+		return h
+	}
+	var h *likeHistory
+	if n := len(sh.freeHist); n > 0 {
+		h = sh.freeHist[n-1]
+		sh.freeHist[n-1] = nil
+		sh.freeHist = sh.freeHist[:n-1]
+	} else {
+		h = &likeHistory{set: make(map[string]Like)}
+	}
+	sh.likes[objectID] = h
+	return h
+}
+
+// retireLikeHistory returns an emptied history (no retained likes) to
+// the free list, clearing its set so pooled histories never pin evicted
+// likes.
+//
+//collusionvet:locked
+func (sh *shard) retireLikeHistory(objectID string, h *likeHistory) {
+	clear(h.set)
+	h.order.release(&sh.edges)
+	sh.freeHist = append(sh.freeHist, h)
+	delete(sh.likes, objectID)
+}
+
+// commentOrderFor returns postID's comment-order list, pooling headers
+// like likeHistoryFor.
+//
+//collusionvet:locked
+func (sh *shard) commentOrderFor(postID string) *edgeList {
+	if l, ok := sh.commentOrder[postID]; ok {
+		return l
+	}
+	var l *edgeList
+	if n := len(sh.freeEdgeList); n > 0 {
+		l = sh.freeEdgeList[n-1]
+		sh.freeEdgeList[n-1] = nil
+		sh.freeEdgeList = sh.freeEdgeList[:n-1]
+	} else {
+		l = new(edgeList)
+	}
+	sh.commentOrder[postID] = l
+	return l
+}
+
+// activityFor returns accountID's activity list, pooling headers.
+//
+//collusionvet:locked
+func (sh *shard) activityFor(accountID string) *activityList {
+	if l, ok := sh.activity[accountID]; ok {
+		return l
+	}
+	var l *activityList
+	if n := len(sh.freeActList); n > 0 {
+		l = sh.freeActList[n-1]
+		sh.freeActList[n-1] = nil
+		sh.freeActList = sh.freeActList[:n-1]
+	} else {
+		l = new(activityList)
+	}
+	sh.activity[accountID] = l
+	return l
+}
+
+// newComment returns a zeroed Comment record, reusing one retired by a
+// retention sweep when available.
+//
+//collusionvet:locked
+func (sh *shard) newComment() *Comment {
+	if n := len(sh.freeComments); n > 0 {
+		c := sh.freeComments[n-1]
+		sh.freeComments[n-1] = nil
+		sh.freeComments = sh.freeComments[:n-1]
+		return c
+	}
+	return new(Comment)
+}
+
+// retireComment clears an evicted comment record and pools it. Records
+// are only ever handed out of the store by value, so no caller can hold
+// a pointer into the pool.
+//
+//collusionvet:locked
+func (sh *shard) retireComment(c *Comment) {
+	*c = Comment{}
+	sh.freeComments = append(sh.freeComments, c)
 }
 
 // FNV-1a, inlined to keep routing allocation-free on the hot path.
@@ -184,34 +306,12 @@ func (s *Store) lock(id string) *shard {
 	return s.lockIdx(s.shardIndex(id))
 }
 
-// lockOrderedIdx write-locks the given stripe indexes in ascending order
-// and returns an unlock function releasing them in reverse order. It is
-// the batch-apply generalisation of lockOrdered: a batched write names an
-// arbitrary number of stripes (one object stripe plus every liker's
-// account stripe), so the index slice is sorted and deduplicated in place
-// before acquisition. The ascending rule is identical to lockOrdered's,
-// so batch scopes and single-write scopes compose deadlock-free.
-//
-//collusionvet:lockorder
-func (s *Store) lockOrderedIdx(idxs []int) func() {
-	sort.Ints(idxs)
-	n := 0
-	for _, v := range idxs {
-		if n == 0 || v != idxs[n-1] {
-			idxs[n] = v
-			n++
-		}
-	}
-	order := idxs[:n]
-	for _, i := range order {
-		s.lockIdx(i)
-	}
-	return func() {
-		for i := len(order) - 1; i >= 0; i-- {
-			s.shards[order[i]].mu.Unlock()
-		}
-	}
-}
+// The batch-apply generalisation of lockOrdered lives in batch.go
+// (applyLikeRun): it sorts and deduplicates the stripe set in place and
+// holds the whole scope inline instead of returning an unlock closure,
+// because the closure (and the heap escape it forces) was measurable on
+// the batched like path. The ascending rule is identical, so batch
+// scopes and single-write scopes compose deadlock-free.
 
 // lockOrdered write-locks the stripes owning the given IDs in ascending
 // shard-index order (duplicates collapse) and returns an unlock function

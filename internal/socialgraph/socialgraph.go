@@ -45,6 +45,47 @@ var (
 	ErrInvalidReference = errors.New("socialgraph: invalid object reference")
 )
 
+// StoreError is the typed error the write paths return: one of the
+// sentinels above plus the role of the ID the check concerned. It
+// replaces the per-rejection fmt.Errorf("%q: %w") constructions, which
+// allocated on every denial — a collusion burst against a mostly-liked
+// object is rejection-heavy, and so is every post-intervention scale
+// run. The common denial kinds are returned as the preallocated values
+// below, so rejecting an op allocates nothing; errors.Is dispatch keeps
+// working through Unwrap.
+type StoreError struct {
+	Role string // which ID failed the check: "liker", "commenter", "object", ...
+	ID   string // the offending ID; empty on the preallocated hot-path values
+	Err  error  // the sentinel
+}
+
+// Error implements error. The preallocated values render lazily and
+// without the ID ("liker: socialgraph: account suspended"); errors built
+// on cold paths keep the quoted-ID form.
+func (e *StoreError) Error() string {
+	if e.ID == "" {
+		return e.Role + ": " + e.Err.Error()
+	}
+	return fmt.Sprintf("%s %q: %v", e.Role, e.ID, e.Err)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *StoreError) Unwrap() error { return e.Err }
+
+// Preallocated denial values for the hot write paths. One value per
+// (role, sentinel) pair that a like, unlike, or comment can reject with;
+// returning them is allocation-free (pinned by TestAllocGateDenialPaths).
+var (
+	errLikerNotFound      = &StoreError{Role: "liker", Err: ErrNotFound}
+	errLikerSuspended     = &StoreError{Role: "liker", Err: ErrSuspended}
+	errAlreadyLiked       = &StoreError{Role: "like", Err: ErrAlreadyLiked}
+	errNotLiked           = &StoreError{Role: "like", Err: ErrNotLiked}
+	errObjectInvalid      = &StoreError{Role: "object", Err: ErrInvalidReference}
+	errCommenterNotFound  = &StoreError{Role: "commenter", Err: ErrNotFound}
+	errCommenterSuspended = &StoreError{Role: "commenter", Err: ErrSuspended}
+	errPostNotFound       = &StoreError{Role: "post", Err: ErrNotFound}
+)
+
 // Account is a user account.
 type Account struct {
 	ID        string
@@ -304,7 +345,7 @@ func (s *Store) CreatePost(authorID, message string, meta WriteMeta) (Post, erro
 	sh.mu.Unlock()
 
 	sh = s.lock(actor)
-	sh.activity[actor] = append(sh.activity[actor], Activity{
+	sh.activityFor(actor).append(&sh.acts, Activity{
 		ActorID: actor, Verb: VerbPost, ObjectID: post.ID, TargetID: authorID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	})
@@ -325,9 +366,16 @@ func (s *Store) Post(id string) (Post, error) {
 
 // PostsByAuthor returns the author's posts in creation order.
 func (s *Store) PostsByAuthor(authorID string) []Post {
+	// Snapshot the slice header, not a copy: the index is append-only and
+	// entries [0, len) are never rewritten in place, so the captured view
+	// stays valid after the lock drops even if concurrent posts grow (or
+	// reallocate) the index past our length.
 	sh := s.rlock(authorID)
-	idsList := append([]string(nil), sh.postsByAuthor[authorID]...)
+	idsList := sh.postsByAuthor[authorID]
 	sh.mu.RUnlock()
+	if len(idsList) == 0 {
+		return nil
+	}
 	out := make([]Post, 0, len(idsList))
 	for _, id := range idsList {
 		psh := s.rlock(id)
@@ -342,79 +390,114 @@ func (s *Store) PostsByAuthor(authorID string) []Post {
 // AddLike records a like by accountID on the object (post or page).
 // Likes are idempotent: liking an object twice returns ErrAlreadyLiked.
 func (s *Store) AddLike(accountID, objectID string, meta WriteMeta) error {
-	unlock := s.lockOrdered(accountID, objectID)
-	defer unlock()
-	return likeLocked(s.shardFor(accountID), s.shardFor(objectID), accountID, objectID, meta)
+	return s.addLikePair(accountID, objectID, meta)
+}
+
+// addLikePair takes the liker's and object's stripes in ascending index
+// order, applies the like, and releases in reverse. The whole scope is
+// inline (no unlock closure): lockOrdered's returned func forced a heap
+// allocation per like, which is pure overhead on the hottest write path.
+//
+//collusionvet:lockorder
+func (s *Store) addLikePair(accountID, objectID string, meta WriteMeta) error {
+	ai := s.shardIndex(accountID)
+	oi := s.shardIndex(objectID)
+	lo, hi := ai, oi
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.lockIdx(lo)
+	if hi != lo {
+		s.lockIdx(hi)
+	}
+	err := likeLocked(s.shards[ai], s.shards[oi], accountID, objectID, meta)
+	if hi != lo {
+		s.shards[hi].mu.Unlock()
+	}
+	s.shards[lo].mu.Unlock()
+	return err
 }
 
 // likeLocked validates and applies one like. The caller must hold the
 // write locks of both shards; AddLike and AddLikeBatch share this core so
 // batched and sequential likes have identical semantics by construction.
 //
+// The success path is allocation-free at steady state: the like history
+// and its chunks come from the shard free lists, and the activity entry
+// lands in a pooled chunk (pinned by TestAllocGateAddLikeBatchSteadyState).
+// Denials return the preallocated StoreError values.
+//
 //collusionvet:locked
 func likeLocked(acctShard, objShard *shard, accountID, objectID string, meta WriteMeta) error {
 	a, ok := acctShard.accounts[accountID]
 	if !ok {
-		return fmt.Errorf("liker %q: %w", accountID, ErrNotFound)
+		return errLikerNotFound
 	}
 	if a.Suspended {
-		return fmt.Errorf("liker %q: %w", accountID, ErrSuspended)
+		return errLikerSuspended
 	}
 	targetID, err := ownerOfShard(objShard, objectID)
 	if err != nil {
 		return err
 	}
-	likes := objShard.likesByObject[objectID]
-	if likes == nil {
-		likes = make(map[string]Like)
-		objShard.likesByObject[objectID] = likes
+	h := objShard.likeHistoryFor(objectID)
+	if _, dup := h.set[accountID]; dup {
+		return errAlreadyLiked
 	}
-	if _, dup := likes[accountID]; dup {
-		return fmt.Errorf("account %q on object %q: %w", accountID, objectID, ErrAlreadyLiked)
-	}
-	likes[accountID] = Like{
-		AccountID: accountID, ObjectID: objectID,
+	// Store the account record's own ID string so the edge and the like
+	// retain the canonical heap string, not a caller-transient copy.
+	h.set[a.ID] = Like{
+		AccountID: a.ID, ObjectID: objectID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	}
 	seq := objShard.likeSeq[objectID]
 	objShard.likeSeq[objectID] = seq + 1
-	objShard.likeOrder[objectID] = append(objShard.likeOrder[objectID], edgeRef{seq: seq, id: accountID})
-	acctShard.activity[accountID] = append(acctShard.activity[accountID], Activity{
-		ActorID: accountID, Verb: VerbLike, ObjectID: objectID, TargetID: targetID,
+	h.order.append(&objShard.edges, edgeRef{seq: seq, id: a.ID})
+	acctShard.activityFor(a.ID).append(&acctShard.acts, Activity{
+		ActorID: a.ID, Verb: VerbLike, ObjectID: objectID, TargetID: targetID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	})
 	return nil
 }
 
 // RemoveLike deletes a like, as Facebook did when purging fake likes.
+// Removal shifts entries only within the edge's own chunk — the chunked
+// list never copies the tail the way the old slice splice did — and an
+// object whose last like is removed retires its whole history to the
+// shard free list.
 func (s *Store) RemoveLike(accountID, objectID string) error {
 	sh := s.lock(objectID)
 	defer sh.mu.Unlock()
-	likes := sh.likesByObject[objectID]
-	if _, ok := likes[accountID]; !ok {
-		return fmt.Errorf("account %q on object %q: %w", accountID, objectID, ErrNotLiked)
+	h, ok := sh.likes[objectID]
+	if !ok {
+		return errNotLiked
 	}
-	delete(likes, accountID)
-	order := sh.likeOrder[objectID]
-	for i, ref := range order {
-		if ref.id == accountID {
-			sh.likeOrder[objectID] = append(order[:i:i], order[i+1:]...)
-			break
-		}
+	if _, liked := h.set[accountID]; !liked {
+		return errNotLiked
+	}
+	delete(h.set, accountID)
+	removeEdge(&h.order, &sh.edges, accountID)
+	if len(h.set) == 0 {
+		sh.retireLikeHistory(objectID, h)
 	}
 	return nil
 }
 
-// Likes returns the likes on an object in arrival order.
+// Likes returns the likes on an object in arrival order, sized and
+// filled in one pass over the chunked history.
 func (s *Store) Likes(objectID string) []Like {
 	sh := s.rlock(objectID)
 	defer sh.mu.RUnlock()
-	order := sh.likeOrder[objectID]
-	likes := sh.likesByObject[objectID]
-	out := make([]Like, 0, len(order))
-	for _, ref := range order {
-		if l, ok := likes[ref.id]; ok {
-			out = append(out, l)
+	h, ok := sh.likes[objectID]
+	if !ok {
+		return nil
+	}
+	out := make([]Like, 0, h.order.total)
+	for c := h.order.head; c != nil; c = c.next {
+		for i := 0; i < c.n; i++ {
+			if l, ok := h.set[c.buf[i].id]; ok {
+				out = append(out, l)
+			}
 		}
 	}
 	return out
@@ -424,15 +507,22 @@ func (s *Store) Likes(objectID string) []Like {
 func (s *Store) LikeCount(objectID string) int {
 	sh := s.rlock(objectID)
 	defer sh.mu.RUnlock()
-	return len(sh.likesByObject[objectID])
+	if h, ok := sh.likes[objectID]; ok {
+		return len(h.set)
+	}
+	return 0
 }
 
 // HasLiked reports whether the account has liked the object.
 func (s *Store) HasLiked(accountID, objectID string) bool {
 	sh := s.rlock(objectID)
 	defer sh.mu.RUnlock()
-	_, ok := sh.likesByObject[objectID][accountID]
-	return ok
+	h, ok := sh.likes[objectID]
+	if !ok {
+		return false
+	}
+	_, liked := h.set[accountID]
+	return liked
 }
 
 // AddComment records a comment on a post. Comment records are co-located
@@ -442,36 +532,64 @@ func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (C
 	if message == "" {
 		return Comment{}, ErrEmptyMessage
 	}
-	unlock := s.lockOrdered(accountID, postID)
-	defer unlock()
-	acctShard := s.shardFor(accountID)
-	postShard := s.shardFor(postID)
+	return s.addCommentPair(accountID, postID, message, meta)
+}
+
+// addCommentPair is AddComment's lock scope: commenter and post stripes
+// taken in ascending index order, inline like addLikePair.
+//
+//collusionvet:lockorder
+func (s *Store) addCommentPair(accountID, postID, message string, meta WriteMeta) (Comment, error) {
+	ai := s.shardIndex(accountID)
+	pi := s.shardIndex(postID)
+	lo, hi := ai, pi
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s.lockIdx(lo)
+	if hi != lo {
+		s.lockIdx(hi)
+	}
+	c, err := s.commentLocked(s.shards[ai], s.shards[pi], accountID, postID, message, meta)
+	if hi != lo {
+		s.shards[hi].mu.Unlock()
+	}
+	s.shards[lo].mu.Unlock()
+	return c, err
+}
+
+// commentLocked validates and applies one comment under both stripe
+// locks. The comment record is drawn from the post shard's pool (sweeps
+// refill it); the ID is minted only after validation so the ID stream
+// matches the reference store.
+//
+//collusionvet:locked
+func (s *Store) commentLocked(acctShard, postShard *shard, accountID, postID, message string, meta WriteMeta) (Comment, error) {
 	a, ok := acctShard.accounts[accountID]
 	if !ok {
-		return Comment{}, fmt.Errorf("commenter %q: %w", accountID, ErrNotFound)
+		return Comment{}, errCommenterNotFound
 	}
 	if a.Suspended {
-		return Comment{}, fmt.Errorf("commenter %q: %w", accountID, ErrSuspended)
+		return Comment{}, errCommenterSuspended
 	}
 	post, ok := postShard.posts[postID]
 	if !ok {
-		return Comment{}, fmt.Errorf("post %q: %w", postID, ErrNotFound)
+		return Comment{}, errPostNotFound
 	}
-	c := &Comment{
-		ID:        s.minter.Next(ids.KindComment),
-		PostID:    postID,
-		AccountID: accountID,
-		Message:   message,
-		AppID:     meta.AppID,
-		SourceIP:  meta.SourceIP,
-		At:        meta.At,
-	}
+	c := postShard.newComment()
+	c.ID = s.minter.Next(ids.KindComment)
+	c.PostID = postID
+	c.AccountID = a.ID
+	c.Message = message
+	c.AppID = meta.AppID
+	c.SourceIP = meta.SourceIP
+	c.At = meta.At
 	postShard.comments[c.ID] = c
 	seq := postShard.commentSeq[postID]
 	postShard.commentSeq[postID] = seq + 1
-	postShard.commentsByPost[postID] = append(postShard.commentsByPost[postID], edgeRef{seq: seq, id: c.ID})
-	acctShard.activity[accountID] = append(acctShard.activity[accountID], Activity{
-		ActorID: accountID, Verb: VerbComment, ObjectID: c.ID, TargetID: post.AuthorID,
+	postShard.commentOrderFor(postID).append(&postShard.edges, edgeRef{seq: seq, id: c.ID})
+	acctShard.activityFor(a.ID).append(&acctShard.acts, Activity{
+		ActorID: a.ID, Verb: VerbComment, ObjectID: c.ID, TargetID: post.AuthorID,
 		AppID: meta.AppID, SourceIP: meta.SourceIP, At: meta.At,
 	})
 	return *c, nil
@@ -481,22 +599,34 @@ func (s *Store) AddComment(accountID, postID, message string, meta WriteMeta) (C
 func (s *Store) Comments(postID string) []Comment {
 	sh := s.rlock(postID)
 	defer sh.mu.RUnlock()
-	refs := sh.commentsByPost[postID]
-	out := make([]Comment, 0, len(refs))
-	for _, ref := range refs {
-		out = append(out, *sh.comments[ref.id])
+	l, ok := sh.commentOrder[postID]
+	if !ok {
+		return nil
+	}
+	out := make([]Comment, 0, l.total)
+	for c := l.head; c != nil; c = c.next {
+		for i := 0; i < c.n; i++ {
+			if rec, ok := sh.comments[c.buf[i].id]; ok {
+				out = append(out, *rec)
+			}
+		}
 	}
 	return out
 }
 
 // ActivityLog returns the account's outgoing activity in chronological
-// (insertion) order.
+// (insertion) order, sized and filled in one pass over the chunks.
 func (s *Store) ActivityLog(accountID string) []Activity {
 	sh := s.rlock(accountID)
 	defer sh.mu.RUnlock()
-	log := sh.activity[accountID]
-	out := make([]Activity, len(log))
-	copy(out, log)
+	l, ok := sh.activity[accountID]
+	if !ok {
+		return nil
+	}
+	out := make([]Activity, 0, l.total)
+	for c := l.head; c != nil; c = c.next {
+		out = append(out, c.buf[:c.n]...)
+	}
 	return out
 }
 
@@ -504,10 +634,16 @@ func (s *Store) ActivityLog(accountID string) []Activity {
 func (s *Store) ActivitySince(accountID string, t time.Time) []Activity {
 	sh := s.rlock(accountID)
 	defer sh.mu.RUnlock()
+	l, ok := sh.activity[accountID]
+	if !ok {
+		return nil
+	}
 	var out []Activity
-	for _, act := range sh.activity[accountID] {
-		if !act.At.Before(t) {
-			out = append(out, act)
+	for c := l.head; c != nil; c = c.next {
+		for i := 0; i < c.n; i++ {
+			if !c.buf[i].At.Before(t) {
+				out = append(out, c.buf[i])
+			}
 		}
 	}
 	return out
@@ -530,7 +666,7 @@ func ownerOfShard(sh *shard, objectID string) (string, error) {
 		// (the paper observes honeypots liking owners' profile pictures).
 		return objectID, nil
 	}
-	return "", fmt.Errorf("object %q: %w", objectID, ErrInvalidReference)
+	return "", errObjectInvalid
 }
 
 // OwnerOf resolves the owner of a likeable object.
@@ -554,8 +690,8 @@ func (s *Store) Stats() Stats {
 		st.Pages += len(sh.pages)
 		st.Posts += len(sh.posts)
 		st.Comments += len(sh.comments)
-		for _, likes := range sh.likesByObject {
-			st.Likes += len(likes)
+		for _, h := range sh.likes {
+			st.Likes += len(h.set)
 		}
 		sh.mu.RUnlock()
 	}

@@ -115,12 +115,24 @@ type ScaleWorld struct {
 	// firstAccount is the numeric value of the first minted account ID;
 	// AccountID reconstructs every member ID from it.
 	firstAccount uint64
+	// ids interns the population's ID strings for populations up to
+	// idCacheMax, so the load generator's per-op actor lookup formats
+	// nothing. One string header plus digits per account costs ~24 MiB at
+	// the 1M cap — noise next to the graph itself — while a 10M-account
+	// run skips the cache and falls back to formatting on demand.
+	ids []string
 }
 
-// AccountID returns the ID of the i-th account (0-based) without storing
-// the population's ID list: the minter issues account IDs as consecutive
-// integers, so the i-th ID is firstAccount+i.
+// idCacheMax bounds the interned-ID table (1M accounts).
+const idCacheMax = 1 << 20
+
+// AccountID returns the ID of the i-th account (0-based): interned for
+// populations within idCacheMax, otherwise reconstructed from the
+// minter's consecutive numbering (the i-th ID is firstAccount+i).
 func (w *ScaleWorld) AccountID(i int) string {
+	if i >= 0 && i < len(w.ids) {
+		return w.ids[i]
+	}
 	return strconv.FormatUint(w.firstAccount+uint64(i), 10)
 }
 
@@ -154,6 +166,16 @@ func BuildScale(cfg ScaleConfig) (*ScaleWorld, error) {
 				return nil, fmt.Errorf("workload: unparseable account ID %q: %w", batch[0].ID, err)
 			}
 			w.firstAccount = first
+		}
+		if cfg.Accounts <= idCacheMax {
+			// Intern the store's own ID strings (no second copy per
+			// account) — see ScaleWorld.ids.
+			if w.ids == nil {
+				w.ids = make([]string, 0, cfg.Accounts)
+			}
+			for j := 0; j < n; j++ {
+				w.ids = append(w.ids, batch[j].ID)
+			}
 		}
 		created += n
 	}
